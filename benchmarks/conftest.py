@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures, prints
+the series, persists it under ``benchmarks/output/``, and asserts the
+qualitative shape the paper reports.  Scaled-down defaults (duration,
+replications) keep the suite in the minutes range; the paper-fidelity
+parameters are documented in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def record_output(output_dir):
+    """Write a named experiment artifact and echo it to stdout."""
+
+    def _record(name: str, text: str) -> None:
+        path = output_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}")
+
+    return _record

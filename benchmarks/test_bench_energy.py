@@ -1,0 +1,49 @@
+"""Extension bench — energy cost of the defenses.
+
+The paper argues LITEWORP suits resource-constrained nodes because it
+adds no per-packet bytes.  The energy meter makes that measurable: total
+radio energy under no defense, LITEWORP, and geographic leashes on the
+same workload.  LITEWORP's radio energy should be within noise of the
+undefended network (monitoring is passive listening the radio does
+anyway), while leashes pay amplifier+electronics for the extra leash
+bytes on every single transmission.
+"""
+
+from repro.experiments.scenario import ScenarioConfig, build_scenario
+from repro.net.energy import EnergyMeter
+
+
+def run(defense):
+    config = ScenarioConfig(
+        n_nodes=30,
+        duration=150.0,
+        seed=9,
+        attack_mode="none",
+        n_malicious=0,
+        defense=defense,
+    )
+    scenario = build_scenario(config)
+    meter = EnergyMeter(scenario.network.channel, scenario.network.radio)
+    report = scenario.run()
+    return report, meter
+
+
+def compute():
+    return {defense: run(defense) for defense in ("none", "liteworp", "geo_leash")}
+
+
+def test_bench_energy(benchmark, record_output):
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["defense     total J     J per delivered packet"]
+    per_packet = {}
+    for defense, (report, meter) in results.items():
+        per = meter.total() / max(1, report.delivered)
+        per_packet[defense] = per
+        lines.append(f"{defense:10s}  {meter.total():9.4f}  {per:12.6f}")
+    record_output("energy_by_defense", "\n".join(lines))
+
+    # LITEWORP's radio energy per delivered packet is within 15% of the
+    # undefended network (it transmits nothing extra in steady state).
+    assert per_packet["liteworp"] < per_packet["none"] * 1.15
+    # Leashes pay for extra bytes on the air on every transmission.
+    assert per_packet["geo_leash"] > per_packet["none"] * 1.10

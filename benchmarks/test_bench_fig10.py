@@ -1,0 +1,42 @@
+"""Figure 10 — detection probability (simulated and analytical) and
+isolation latency vs. the detection confidence index θ, at N_B = 15 with
+M = 2 colluders.
+
+Paper shape: detection probability decreases as θ grows (more guards must
+alert despite collisions); isolation latency increases with θ but stays
+small (tens of seconds).  Scaled from the paper's 30-run averages.
+"""
+
+import math
+
+from repro.experiments.figures import run_fig10
+from repro.experiments.scenario import ScenarioConfig
+
+BASE = ScenarioConfig(
+    n_nodes=60, avg_neighbors=15.0, duration=250.0, seed=8, attack_start=50.0
+)
+THETAS = (2, 3, 4, 5, 6, 7, 8)
+
+
+def compute():
+    return run_fig10(base=BASE, thetas=THETAS, runs=2, analytical_neighbors=15.0)
+
+
+def test_bench_fig10(benchmark, record_output):
+    result = benchmark.pedantic(compute, rounds=1, iterations=1)
+    record_output("fig10_detection_vs_theta", result.format())
+
+    # Analytical curve is monotone non-increasing in theta.
+    analytic = [result.analytical_detection[t] for t in THETAS]
+    assert all(b <= a + 1e-12 for a, b in zip(analytic, analytic[1:]))
+    # Simulated detection: high at small theta, no higher at the largest
+    # theta than at the smallest (trend matches the analysis).
+    assert result.sim_detection[2] >= 0.5
+    assert result.sim_detection[THETAS[-1]] <= result.sim_detection[2] + 1e-9
+    # Isolation latency at the easy end is finite and small.
+    easy_latency = result.sim_latency[2]
+    assert easy_latency is not None and easy_latency < 120.0
+    # Where both ends have latencies, the hard end is not faster.
+    hard_latency = result.sim_latency[THETAS[-1]]
+    if hard_latency is not None and not math.isnan(hard_latency):
+        assert hard_latency >= easy_latency * 0.5

@@ -1,0 +1,38 @@
+"""Figure 6(a) — analytical probability of wormhole detection vs. the
+number of neighbors (γ=7, κ=5, θ=3, P_C = 0.05 at N_B = 3, P_C linear in
+N_B, g = 0.51·N_B).
+
+Paper shape: rises with density (more guards), peaks, then falls rapidly
+as the collision probability grows.
+"""
+
+from repro.analysis.coverage import CoverageParams, detection_vs_neighbors
+
+NEIGHBOR_COUNTS = list(range(4, 41, 2))
+
+
+def compute():
+    return detection_vs_neighbors(NEIGHBOR_COUNTS, CoverageParams())
+
+
+def render(series) -> str:
+    lines = ["N_B   P(wormhole detection)"]
+    for n_b, p in series:
+        bar = "#" * int(round(p * 40))
+        lines.append(f"{n_b:4.0f}  {p:8.4f}  {bar}")
+    return "\n".join(lines)
+
+
+def test_bench_fig6a(benchmark, record_output):
+    series = benchmark.pedantic(compute, rounds=1, iterations=1)
+    record_output("fig6a_detection_vs_neighbors", render(series))
+    values = [p for _, p in series]
+    peak = max(values)
+    peak_index = values.index(peak)
+    # Rises to a high peak in the interior...
+    assert peak > 0.95
+    assert 0 < peak_index < len(values) - 1
+    # ...and falls rapidly beyond it (paper: "starts to fall rapidly").
+    assert values[-1] < 0.5 * peak
+    # The left edge (sparse network, too few guards for theta=3) is low.
+    assert values[0] < peak

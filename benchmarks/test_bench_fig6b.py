@@ -1,0 +1,35 @@
+"""Figure 6(b) — analytical probability of false alarm vs. the number of
+neighbors (same parameters as figure 6(a)).
+
+Paper shape: non-monotonic (rises while extra guards add opportunities for
+false suspicion, falls when collisions mask both observations), negligible
+everywhere.
+"""
+
+from repro.analysis.coverage import CoverageParams, false_alarm_vs_neighbors
+
+NEIGHBOR_COUNTS = list(range(4, 61, 2))
+
+
+def compute():
+    return false_alarm_vs_neighbors(NEIGHBOR_COUNTS, CoverageParams())
+
+
+def render(series) -> str:
+    lines = ["N_B   P(false alarm)"]
+    for n_b, p in series:
+        lines.append(f"{n_b:4.0f}  {p:12.3e}")
+    return "\n".join(lines)
+
+
+def test_bench_fig6b(benchmark, record_output):
+    series = benchmark.pedantic(compute, rounds=1, iterations=1)
+    record_output("fig6b_false_alarm_vs_neighbors", render(series))
+    values = [p for _, p in series]
+    # Non-monotonic with an interior peak.
+    peak_index = values.index(max(values))
+    assert 0 < peak_index < len(values) - 1
+    # Negligible everywhere; tiny at the paper's operating density (N_B=8).
+    assert max(values) < 0.01
+    at_operating_density = dict(series)[8.0]
+    assert at_operating_density < 1e-4

@@ -1,0 +1,38 @@
+"""Figure 9 — fraction of packets dropped by the wormhole and fraction of
+malicious routes vs. the number of compromised nodes (M = 0..4), with and
+without LITEWORP, snapshot at the end of the run.
+
+Paper shape: with 0 or 1 compromised node there is no adverse effect; the
+baseline fractions grow with M (nonlinearly — wormhole routes attract a
+disproportionate share of traffic); with LITEWORP both fractions stay near
+zero for every M.  Scaled from the paper's 2000 s / 30 runs.
+"""
+
+from repro.experiments.figures import run_fig9
+from repro.experiments.scenario import ScenarioConfig
+
+BASE = ScenarioConfig(n_nodes=100, duration=300.0, seed=8, attack_start=50.0)
+
+
+def compute():
+    return run_fig9(base=BASE, malicious_counts=(0, 1, 2, 3, 4), runs=1)
+
+
+def test_bench_fig9(benchmark, record_output):
+    result = benchmark.pedantic(compute, rounds=1, iterations=1)
+    record_output("fig9_fractions_vs_M", result.format())
+
+    dropped = result.fraction_dropped
+    mal_routes = result.fraction_malicious_routes
+    # M = 0 and M = 1: no wormhole, no effect (tunnel modes need 2).
+    for m in (0, 1):
+        assert dropped[(m, False)] == 0.0
+        assert mal_routes[(m, False)] == 0.0
+    # Baseline damage present at M >= 2 and larger at M = 4 than M = 2.
+    assert dropped[(2, False)] > 0.005
+    assert mal_routes[(2, False)] > 0.02
+    assert dropped[(4, False)] >= dropped[(2, False)] * 0.5
+    # LITEWORP keeps the fractions near zero at every M.
+    for m in (2, 3, 4):
+        assert dropped[(m, True)] < max(0.01, dropped[(m, False)] / 3)
+        assert mal_routes[(m, True)] < mal_routes[(m, False)]

@@ -1,0 +1,22 @@
+"""Table 1 — the wormhole attack-mode taxonomy."""
+
+from repro.attacks.taxonomy import ATTACK_MODES, taxonomy_table
+
+
+def render() -> str:
+    lines = ["Mode name                 | Min #compromised | Special requirements"]
+    lines.append("-" * len(lines[0]))
+    for name, count, requirements in taxonomy_table():
+        lines.append(f"{name:25s} | {count:16d} | {requirements}")
+    return "\n".join(lines)
+
+
+def test_bench_table1(benchmark, record_output):
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    record_output("table1_taxonomy", text)
+    rows = taxonomy_table()
+    assert len(rows) == 5
+    assert rows[0] == ("Packet encapsulation", 2, "None")
+    assert rows[-1] == ("Protocol deviations", 1, "None")
+    # LITEWORP handles all but the protocol-deviation mode (paper 4.2.3).
+    assert sum(1 for m in ATTACK_MODES if m.liteworp_detects) == 4

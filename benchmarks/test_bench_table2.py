@@ -1,0 +1,26 @@
+"""Table 2 — simulation input parameters (and that the default scenario
+actually uses them)."""
+
+from repro.core.config import LiteworpConfig
+from repro.experiments.parameters import TABLE2
+from repro.experiments.scenario import ScenarioConfig
+
+
+def render() -> str:
+    width = max(len(name) for name, _ in TABLE2.rows())
+    return "\n".join(f"{name:{width}s}  {value}" for name, value in TABLE2.rows())
+
+
+def test_bench_table2(benchmark, record_output):
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    record_output("table2_parameters", text)
+    # The scenario defaults are wired to Table 2.
+    config = ScenarioConfig()
+    assert config.tx_range == TABLE2.tx_range_m
+    assert config.avg_neighbors == TABLE2.avg_neighbors
+    assert config.routing.route_timeout == TABLE2.route_timeout
+    assert config.traffic.data_rate == TABLE2.data_rate
+    assert config.traffic.destination_change_rate == TABLE2.dest_change_rate
+    assert config.network.bandwidth_bps == TABLE2.channel_bandwidth_bps
+    assert LiteworpConfig().malc_window == TABLE2.malc_window
+    assert config.n_nodes in TABLE2.node_counts

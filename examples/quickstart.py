@@ -1,0 +1,63 @@
+"""Quickstart: a wormhole attack with and without LITEWORP.
+
+Builds a 50-node sensor network (Table 2 parameters), launches an
+out-of-band wormhole between two colluders at t = 40 s, and compares the
+unprotected network against one running LITEWORP.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ScenarioConfig, build_scenario
+
+
+def run(liteworp_enabled: bool):
+    config = ScenarioConfig(
+        n_nodes=50,
+        duration=240.0,
+        seed=42,
+        attack_mode="outofband",
+        n_malicious=2,
+        attack_start=40.0,
+        liteworp_enabled=liteworp_enabled,
+    )
+    scenario = build_scenario(config)
+    report = scenario.run()
+    return scenario, report
+
+
+def main() -> None:
+    print("LITEWORP quickstart — out-of-band wormhole, 50 nodes, 240 s")
+    print()
+
+    base_scenario, base = run(liteworp_enabled=False)
+    lw_scenario, protected = run(liteworp_enabled=True)
+
+    print(f"colluders: {base_scenario.malicious_ids}")
+    print()
+    print(f"{'':32s}{'baseline':>12s}{'LITEWORP':>12s}")
+    print(f"{'data packets originated':32s}{base.originated:12d}{protected.originated:12d}")
+    print(f"{'data packets delivered':32s}{base.delivered:12d}{protected.delivered:12d}")
+    print(f"{'swallowed by the wormhole':32s}{base.wormhole_drops:12d}{protected.wormhole_drops:12d}")
+    print(f"{'routes established':32s}{base.routes_established:12d}{protected.routes_established:12d}")
+    print(f"{'routes through the wormhole':32s}{base.malicious_routes:12d}{protected.malicious_routes:12d}")
+    print()
+
+    if protected.isolation_times:
+        print("isolation of the colluders (LITEWORP):")
+        for node in sorted(protected.isolation_times):
+            latency = protected.isolation_latency(node)
+            print(f"  node {node}: fully isolated {latency:.1f} s after its first malicious act")
+    else:
+        print("the wormhole was not fully isolated within the horizon")
+    print()
+
+    guard_detections = lw_scenario.trace.count("guard_detection")
+    alerts = sum(a.isolation.alerts_sent for a in lw_scenario.agents.values())
+    print(f"guard detections: {guard_detections}, alerts sent: {alerts}")
+    print()
+    factor = base.wormhole_drops / max(1, protected.wormhole_drops)
+    print(f"LITEWORP cut wormhole data loss by a factor of ~{factor:.0f}x")
+
+
+if __name__ == "__main__":
+    main()

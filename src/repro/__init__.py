@@ -1,0 +1,74 @@
+"""repro — a full reproduction of LITEWORP (DSN 2005).
+
+LITEWORP is a lightweight countermeasure for the wormhole attack in
+multihop wireless networks (Khalil, Bagchi, Shroff).  This package
+contains the protocol itself (:mod:`repro.core`), every substrate it needs
+(discrete-event simulator, wireless network, crypto, routing, traffic),
+the five wormhole attack modes (:mod:`repro.attacks`), the closed-form
+coverage and cost analysis (:mod:`repro.analysis`), and the experiment
+harness regenerating the paper's tables and figures
+(:mod:`repro.experiments`).
+
+Quickstart
+----------
+>>> from repro import ScenarioConfig, run_scenario
+>>> report = run_scenario(ScenarioConfig(n_nodes=30, duration=120.0, seed=7))
+>>> report.wormhole_drops >= 0
+True
+"""
+
+from repro.analysis import CostModel, CoverageParams, detection_probability
+from repro.attacks import ATTACK_MODES, WormholeCoordinator, taxonomy_table
+from repro.baselines import LeashAgent, LeashConfig
+from repro.core import LiteworpAgent, LiteworpConfig
+from repro.mobility import DynamicNeighborhood, RandomWaypointModel, WaypointConfig
+from repro.experiments import (
+    ScenarioConfig,
+    TABLE2,
+    build_scenario,
+    run_fig10,
+    run_fig8,
+    run_fig9,
+    run_scenario,
+)
+from repro.metrics import MetricsCollector, MetricsReport
+from repro.net import Network, NetworkConfig, Topology, generate_connected_topology
+from repro.routing import OnDemandRouting, RoutingConfig
+from repro.sim import Simulator
+from repro.traffic import TrafficConfig, TrafficGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ATTACK_MODES",
+    "CostModel",
+    "CoverageParams",
+    "DynamicNeighborhood",
+    "LeashAgent",
+    "LeashConfig",
+    "LiteworpAgent",
+    "LiteworpConfig",
+    "MetricsCollector",
+    "MetricsReport",
+    "Network",
+    "NetworkConfig",
+    "OnDemandRouting",
+    "RandomWaypointModel",
+    "RoutingConfig",
+    "ScenarioConfig",
+    "WaypointConfig",
+    "Simulator",
+    "TABLE2",
+    "Topology",
+    "TrafficConfig",
+    "TrafficGenerator",
+    "WormholeCoordinator",
+    "build_scenario",
+    "detection_probability",
+    "generate_connected_topology",
+    "run_fig10",
+    "run_fig8",
+    "run_fig9",
+    "run_scenario",
+    "taxonomy_table",
+]

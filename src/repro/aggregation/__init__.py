@@ -1,0 +1,28 @@
+"""In-network data aggregation under wormhole attack.
+
+The paper's introduction names "data aggregation" among the protocol
+classes a wormhole subverts.  This package implements epoch-based
+tree aggregation over the beacon tree
+(:class:`~repro.aggregation.tree.TreeAggregation`): every node combines
+its own reading with its children's partial aggregates and sends one
+combined value to its parent; the sink reconstructs the field-wide
+aggregate (SUM / MAX / COUNT).
+
+A wormhole that captures a subtree swallows the region's partial
+aggregates, silently biasing the sink's view of the field — the COUNT
+aggregate makes the damage directly measurable as missing nodes.
+"""
+
+from repro.aggregation.tree import (
+    AggregateKind,
+    AggregatePacket,
+    AggregationConfig,
+    TreeAggregation,
+)
+
+__all__ = [
+    "AggregateKind",
+    "AggregatePacket",
+    "AggregationConfig",
+    "TreeAggregation",
+]

@@ -1,0 +1,152 @@
+"""Cost analysis (paper section 5.2).
+
+Models the three overheads that make LITEWORP "lightweight":
+
+- **Memory** — first/second-hop neighbor lists (5 bytes per first-hop
+  entry: 4-byte id + 1-byte MalC; 4 bytes per second-hop id), the alert
+  buffer (θ entries of 4 bytes), and the watch buffer (20 bytes per entry:
+  immediate source, immediate destination, original source ids at 4 bytes
+  each, plus an 8-byte sequence number).
+- **Computation** — neighbor-list lookups and watch-buffer updates per
+  watched packet, scaled by the paper's MICA-mote lookup throughput.
+- **Bandwidth** — messages only at initialisation (neighbor discovery)
+  and on detection (alerts), zero in steady state.
+
+The watch-buffer occupancy estimate uses the paper's bounding-box argument:
+the nodes that may overhear a route reply travelling h hops lie inside a
+2r × (h+1)r rectangle, so ``N_REP = 2 r² (h+1) d`` nodes are involved per
+reply, and each node watches ``(N_REP / N) · f`` replies per unit time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+NEIGHBOR_ENTRY_BYTES = 5  # 4-byte id + 1-byte MalC
+SECOND_HOP_ID_BYTES = 4
+WATCH_ENTRY_BYTES = 20  # 3 ids * 4 bytes + 8-byte sequence number
+ALERT_ENTRY_BYTES = 4
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Inputs of the cost model (paper's running example as defaults)."""
+
+    n_nodes: int = 100
+    tx_range: float = 30.0
+    avg_neighbors: float = 10.0
+    avg_route_hops: float = 4.0
+    route_frequency: float = 0.25  # f: route establishments per unit time
+    watch_window: float = 1.0  # time a watch entry lives (≈ δ)
+    theta: int = 3
+    include_requests: bool = False
+    mote_lookups_per_second: float = 50.0  # MICA Atmega128 @ 4 MHz, 100-entry buffer
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be positive")
+        if self.tx_range <= 0:
+            raise ValueError("tx_range must be positive")
+        if self.avg_neighbors <= 0:
+            raise ValueError("avg_neighbors must be positive")
+        if self.avg_route_hops < 1:
+            raise ValueError("avg_route_hops must be at least 1")
+        if self.route_frequency <= 0:
+            raise ValueError("route_frequency must be positive")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def density(self) -> float:
+        """Node density d implied by N_B = π r² d."""
+        return self.avg_neighbors / (math.pi * self.tx_range ** 2)
+
+    def neighbor_list_bytes(self) -> float:
+        """NBL storage: first-hop entries plus each neighbor's list."""
+        first = NEIGHBOR_ENTRY_BYTES * self.avg_neighbors
+        second = SECOND_HOP_ID_BYTES * self.avg_neighbors * self.avg_neighbors
+        return first + second
+
+    def alert_buffer_bytes(self) -> int:
+        """Alert buffer: θ guard ids."""
+        return ALERT_ENTRY_BYTES * self.theta
+
+    def nodes_watching_per_reply(self) -> float:
+        """N_REP: nodes inside the 2r × (h+1)r bounding box of one reply."""
+        return 2 * self.tx_range ** 2 * (self.avg_route_hops + 1) * self.density
+
+    def watches_per_node_per_unit_time(self) -> float:
+        """Replies (and optionally requests) each node watches per unit time."""
+        replies = (self.nodes_watching_per_reply() / self.n_nodes) * self.route_frequency
+        if self.include_requests:
+            # A flooded request involves (almost) every node once.
+            replies += self.route_frequency
+        return replies
+
+    def watch_buffer_entries(self) -> float:
+        """Expected concurrent watch-buffer occupancy (Little's law)."""
+        return self.watches_per_node_per_unit_time() * self.watch_window
+
+    def watch_buffer_bytes(self, slack: float = 4.0) -> float:
+        """Provisioned watch-buffer size with a safety factor."""
+        entries = max(1.0, math.ceil(self.watch_buffer_entries() * slack))
+        return entries * WATCH_ENTRY_BYTES
+
+    def total_memory_bytes(self) -> float:
+        """All LITEWORP state on one node."""
+        return (
+            self.neighbor_list_bytes()
+            + self.alert_buffer_bytes()
+            + self.watch_buffer_bytes()
+        )
+
+    def lookups_per_watched_packet(self) -> int:
+        """Neighbor-list lookups + watch-buffer update per watched packet."""
+        return 3  # source lookup, destination lookup, buffer add-or-delete
+
+    def cpu_utilisation(self) -> float:
+        """Fraction of the mote's lookup throughput LITEWORP consumes."""
+        rate = self.watches_per_node_per_unit_time() * self.lookups_per_watched_packet()
+        return rate / self.mote_lookups_per_second
+
+    def report(self) -> "CostReport":
+        """Assemble the section-5.2 cost table."""
+        return CostReport(
+            neighbor_list_bytes=self.neighbor_list_bytes(),
+            alert_buffer_bytes=self.alert_buffer_bytes(),
+            watch_entries_steady_state=self.watch_buffer_entries(),
+            watch_buffer_bytes=self.watch_buffer_bytes(),
+            total_memory_bytes=self.total_memory_bytes(),
+            nodes_watching_per_reply=self.nodes_watching_per_reply(),
+            watches_per_node=self.watches_per_node_per_unit_time(),
+            cpu_utilisation=self.cpu_utilisation(),
+        )
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """The section-5.2 overhead summary for one parameterisation."""
+
+    neighbor_list_bytes: float
+    alert_buffer_bytes: int
+    watch_entries_steady_state: float
+    watch_buffer_bytes: float
+    total_memory_bytes: float
+    nodes_watching_per_reply: float
+    watches_per_node: float
+    cpu_utilisation: float
+
+    def rows(self):
+        """(name, value, unit) rows for table rendering."""
+        return [
+            ("Neighbor lists (NBL)", self.neighbor_list_bytes, "bytes"),
+            ("Alert buffer", float(self.alert_buffer_bytes), "bytes"),
+            ("Watch buffer steady-state", self.watch_entries_steady_state, "entries"),
+            ("Watch buffer provisioned", self.watch_buffer_bytes, "bytes"),
+            ("Total memory", self.total_memory_bytes, "bytes"),
+            ("Nodes watching one reply", self.nodes_watching_per_reply, "nodes"),
+            ("Watched packets per node", self.watches_per_node, "per unit time"),
+            ("CPU utilisation", self.cpu_utilisation, "fraction"),
+        ]

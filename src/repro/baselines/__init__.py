@@ -1,0 +1,37 @@
+"""Comparison baselines from the paper's related work (section 2).
+
+The paper positions LITEWORP against *packet leashes* (Hu, Perrig,
+Johnson — INFOCOM 2003), the best-known wormhole defense at the time:
+
+- **Geographical leashes** — every transmission carries the sender's
+  authenticated location and send time; the receiver bounds the distance
+  the packet can have travelled and discards violators.  Needs location
+  knowledge and loosely synchronised clocks.
+- **Temporal leashes** — every transmission carries an authenticated send
+  time; the receiver bounds the packet's lifetime.  Needs tightly
+  synchronised clocks and negligible processing delays.
+
+This package implements both (:mod:`repro.baselines.leashes`) on the same
+substrate LITEWORP runs on, so the paper's comparison claims can be
+measured rather than argued:
+
+1. leashes add per-packet overhead on *every* packet, LITEWORP adds none;
+2. leashes stop replay-style wormholes (outsider relay, high-power) but
+   cannot stop a wormhole between two *compromised insiders* that re-leash
+   the tunnelled traffic as their own;
+3. leashes "do not nullify the capacity of the compromised nodes from
+   launching attacks in the future" — there is no isolation, the attacker
+   keeps trying forever.
+"""
+
+from repro.baselines.leashes import GEO_LEASH_BYTES, Leash, LeashAgent, LeashConfig
+from repro.baselines.sector import DistanceBounding, SectorConfig
+
+__all__ = [
+    "DistanceBounding",
+    "GEO_LEASH_BYTES",
+    "Leash",
+    "LeashAgent",
+    "LeashConfig",
+    "SectorConfig",
+]

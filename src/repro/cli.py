@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+- ``run`` — one scenario with chosen attack/defense, printing the report.
+- ``fig8`` / ``fig9`` / ``fig10`` — regenerate a simulation figure.
+- ``fig6`` — the analytical coverage curves.
+- ``cost`` — the section-5.2 cost table.
+- ``taxonomy`` — Table 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.cost import CostModel
+from repro.analysis.coverage import (
+    CoverageParams,
+    detection_vs_neighbors,
+    false_alarm_vs_neighbors,
+)
+from repro.attacks.taxonomy import taxonomy_table
+from repro.experiments.figures import run_fig8, run_fig9, run_fig10
+from repro.experiments.scenario import (
+    ATTACK_MODES,
+    DEFENSES,
+    ScenarioConfig,
+    build_scenario,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LITEWORP reproduction — run scenarios and regenerate the paper's figures",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one scenario and print the report")
+    run_p.add_argument("--nodes", type=int, default=50)
+    run_p.add_argument("--duration", type=float, default=240.0)
+    run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument("--attack", choices=ATTACK_MODES, default="outofband")
+    run_p.add_argument("--malicious", type=int, default=2)
+    run_p.add_argument("--attack-start", type=float, default=40.0)
+    run_p.add_argument("--defense", choices=DEFENSES, default="liteworp")
+    run_p.add_argument("--json", dest="json_path", default=None,
+                       help="also write the metric report as JSON to this path")
+
+    fig8_p = sub.add_parser("fig8", help="cumulative dropped packets vs time")
+    fig8_p.add_argument("--nodes", type=int, default=100)
+    fig8_p.add_argument("--duration", type=float, default=300.0)
+    fig8_p.add_argument("--runs", type=int, default=1)
+    fig8_p.add_argument("--seed", type=int, default=8)
+
+    fig9_p = sub.add_parser("fig9", help="fractions vs number of compromised nodes")
+    fig9_p.add_argument("--nodes", type=int, default=100)
+    fig9_p.add_argument("--duration", type=float, default=300.0)
+    fig9_p.add_argument("--runs", type=int, default=1)
+    fig9_p.add_argument("--seed", type=int, default=8)
+
+    fig10_p = sub.add_parser("fig10", help="detection probability / latency vs theta")
+    fig10_p.add_argument("--nodes", type=int, default=60)
+    fig10_p.add_argument("--duration", type=float, default=250.0)
+    fig10_p.add_argument("--runs", type=int, default=2)
+    fig10_p.add_argument("--seed", type=int, default=8)
+
+    sub.add_parser("fig6", help="analytical coverage curves (6a and 6b)")
+    sub.add_parser("cost", help="section 5.2 cost table")
+    sub.add_parser("taxonomy", help="Table 1: wormhole attack modes")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = ScenarioConfig(
+        n_nodes=args.nodes,
+        duration=args.duration,
+        seed=args.seed,
+        attack_mode=args.attack,
+        n_malicious=args.malicious if args.attack != "none" else 0,
+        attack_start=args.attack_start,
+        defense=args.defense,
+    )
+    scenario = build_scenario(config)
+    report = scenario.run()
+    print(f"attack={args.attack} defense={args.defense} "
+          f"nodes={args.nodes} duration={args.duration}s seed={args.seed}")
+    print(f"malicious nodes       : {scenario.malicious_ids}")
+    print(f"data originated       : {report.originated}")
+    print(f"data delivered        : {report.delivered} "
+          f"({100 * report.delivered / max(1, report.originated):.1f}%)")
+    print(f"wormhole drops        : {report.wormhole_drops}")
+    print(f"malicious routes      : {report.malicious_routes}/{report.routes_established}")
+    print(f"guard detections      : {report.detections}")
+    for node in sorted(report.isolation_times):
+        print(f"isolated node {node:3d}     : {report.isolation_latency(node):.1f} s latency")
+    if args.json_path:
+        import json
+        import pathlib
+
+        path = pathlib.Path(args.json_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+        print(f"report written to {path}")
+    return 0
+
+
+def _cmd_fig8(args: argparse.Namespace) -> int:
+    base = ScenarioConfig(n_nodes=args.nodes, duration=args.duration,
+                          seed=args.seed, attack_start=50.0)
+    print(run_fig8(base=base, runs=args.runs).format())
+    return 0
+
+
+def _cmd_fig9(args: argparse.Namespace) -> int:
+    base = ScenarioConfig(n_nodes=args.nodes, duration=args.duration,
+                          seed=args.seed, attack_start=50.0)
+    print(run_fig9(base=base, runs=args.runs).format())
+    return 0
+
+
+def _cmd_fig10(args: argparse.Namespace) -> int:
+    base = ScenarioConfig(n_nodes=args.nodes, avg_neighbors=15.0,
+                          duration=args.duration, seed=args.seed, attack_start=50.0)
+    print(run_fig10(base=base, runs=args.runs).format())
+    return 0
+
+
+def _cmd_fig6(_args: argparse.Namespace) -> int:
+    params = CoverageParams()
+    print("Figure 6(a): N_B vs P(detection)")
+    for n_b, p in detection_vs_neighbors(range(4, 41, 2), params):
+        print(f"  {n_b:4.0f}  {p:.4f}")
+    print("Figure 6(b): N_B vs P(false alarm)")
+    for n_b, p in false_alarm_vs_neighbors(range(4, 41, 2), params):
+        print(f"  {n_b:4.0f}  {p:.3e}")
+    return 0
+
+
+def _cmd_cost(_args: argparse.Namespace) -> int:
+    report = CostModel().report()
+    for name, value, unit in report.rows():
+        print(f"{name:30s} {value:12.3f} {unit}")
+    return 0
+
+
+def _cmd_taxonomy(_args: argparse.Namespace) -> int:
+    for name, count, requirements in taxonomy_table():
+        print(f"{name:25s} | min nodes: {count} | requires: {requirements}")
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "fig8": _cmd_fig8,
+    "fig9": _cmd_fig9,
+    "fig10": _cmd_fig10,
+    "fig6": _cmd_fig6,
+    "cost": _cmd_cost,
+    "taxonomy": _cmd_taxonomy,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse ``argv`` (default: ``sys.argv[1:]``) and run the command."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

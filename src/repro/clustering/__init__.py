@@ -1,0 +1,28 @@
+"""Cluster formation under wormhole attack.
+
+The paper's introduction lists "data aggregation and clustering
+protocols" among the systems a wormhole subverts.  This package provides
+a classic lowest-ID cluster-head election
+(:class:`~repro.clustering.lowest_id.LowestIdClustering`) and the
+wormhole that corrupts it (:class:`~repro.clustering.lowest_id.ClusterWormhole`):
+tunnelling a head announcement into a distant region makes far-away nodes
+join a cluster head they cannot actually reach, silently partitioning the
+cluster structure.  LITEWORP's non-neighbor legitimacy check stops the
+replayed announcements at every receiver.
+"""
+
+from repro.clustering.lowest_id import (
+    ClusterAnnounce,
+    ClusteringConfig,
+    ClusterWormhole,
+    LowestIdClustering,
+    cluster_integrity,
+)
+
+__all__ = [
+    "ClusterAnnounce",
+    "ClusterWormhole",
+    "ClusteringConfig",
+    "LowestIdClustering",
+    "cluster_integrity",
+]

@@ -1,0 +1,165 @@
+"""The per-node LITEWORP agent: composition of tables, monitor, isolation,
+discovery, and the legitimacy filters.
+
+The agent plugs into the node pipeline in four places:
+
+- **observer** — the local monitor sees every frame (even ones the filters
+  will reject: a guard must watch traffic it would itself discard);
+- **filter** — the legitimacy checks: reject frames from non-neighbors
+  (defeats high-power and relay wormholes), from revoked nodes, and
+  forwarded frames whose announced previous hop is not a neighbor of the
+  transmitter (the second-hop check, defeating naive encapsulation);
+- **listener** — alert handling;
+- **send filter** — refuse to transmit to revoked nodes, and feed the
+  node's own transmissions to the monitor (a node guards its own links).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.core.config import LiteworpConfig
+from repro.core.discovery import NeighborDiscovery, install_oracle_tables
+from repro.core.isolation import IsolationManager
+from repro.core.monitor import LocalMonitor
+from repro.core.tables import NeighborTable
+from repro.crypto.keys import KeyStore
+from repro.net.node import Node
+from repro.net.packet import Frame, NodeId
+from repro.routing.ondemand import OnDemandRouting
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceLog
+
+
+class LiteworpAgent:
+    """LITEWORP runtime for one node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        keys: KeyStore,
+        config: LiteworpConfig,
+        trace: TraceLog,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.keys = keys
+        self.config = config
+        self.trace = trace
+        self.rng = rng or random.Random(node.node_id)
+        self.table = NeighborTable(node.node_id)
+        self.isolation = IsolationManager(sim, node, self.table, keys, config, trace)
+        self.monitor = LocalMonitor(
+            sim,
+            node.node_id,
+            self.table,
+            config,
+            trace,
+            on_detection=self.isolation.handle_local_detection,
+        )
+        self.discovery: Optional[NeighborDiscovery] = None
+        self.activated = False
+        self.rejects: Dict[str, int] = {"nonneighbor": 0, "revoked": 0, "secondhop": 0}
+        node.add_observer(self._observe)
+        node.add_filter(self._receive_filter)
+        node.add_listener(self.isolation.on_frame)
+        node.add_send_filter(self._send_filter)
+
+    # ------------------------------------------------------------------
+    # Bootstrapping
+    # ------------------------------------------------------------------
+    def start_discovery(self) -> None:
+        """Run the message-driven neighbor-discovery protocol, activating
+        the filters when it completes."""
+        self.discovery = NeighborDiscovery(
+            self.sim,
+            self.node,
+            self.table,
+            self.keys,
+            self.config,
+            self.trace,
+            self.rng,
+            on_complete=self.activate,
+        )
+        self.discovery.start()
+
+    def install_oracle(self, adjacency: Dict[NodeId, tuple]) -> None:
+        """Install ground-truth neighbor tables and activate immediately."""
+        install_oracle_tables(self.table, self.node.node_id, adjacency)
+        self.activate()
+
+    def activate(self) -> None:
+        """Switch on the legitimacy filters and local monitoring."""
+        self.activated = True
+
+    def attach_router(self, router: OnDemandRouting) -> None:
+        """Wire LITEWORP into a routing agent: revoked neighbors become
+        unusable as next hops and their cached routes are evicted."""
+        router.usable = self.is_usable
+        self.isolation.on_revocation(lambda bad: router.routes.evict_via(bad))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_usable(self, node: NodeId) -> bool:
+        """Routing hook: may ``node`` be used as a next hop?"""
+        if not self.activated:
+            return True
+        return self.table.is_active_neighbor(node)
+
+    def has_isolated(self, node: NodeId) -> bool:
+        """Whether this agent has revoked ``node`` (by own detection or θ
+        alerts)."""
+        return self.table.is_revoked(node)
+
+    # ------------------------------------------------------------------
+    # Pipeline hooks
+    # ------------------------------------------------------------------
+    def _observe(self, frame: Frame) -> None:
+        if self.activated:
+            self.monitor.observe(frame)
+
+    def _receive_filter(self, frame: Frame) -> bool:
+        if not self.activated:
+            return True
+        transmitter = frame.transmitter
+        if not self.table.is_neighbor(transmitter):
+            self._reject("nonneighbor", frame)
+            return False
+        if self.table.is_revoked(transmitter):
+            self._reject("revoked", frame)
+            return False
+        if frame.prev_hop is not None and self.config.second_hop_check:
+            reach = self.table.neighbors_of(transmitter)
+            if reach is not None and frame.prev_hop not in reach:
+                self._reject("secondhop", frame)
+                return False
+        return True
+
+    def _send_filter(self, frame: Frame) -> bool:
+        if self.activated and frame.link_dst is not None:
+            if self.table.is_revoked(frame.link_dst):
+                self.trace.emit(
+                    self.sim.now,
+                    "send_blocked",
+                    node=self.node.node_id,
+                    next_hop=frame.link_dst,
+                    **frame.describe(),
+                )
+                return False
+        if self.activated:
+            self.monitor.observe_own(frame)
+        return True
+
+    def _reject(self, reason: str, frame: Frame) -> None:
+        self.rejects[reason] += 1
+        self.trace.emit(
+            self.sim.now,
+            "frame_rejected",
+            node=self.node.node_id,
+            reason=reason,
+            **frame.describe(),
+        )

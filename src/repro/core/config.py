@@ -1,0 +1,105 @@
+"""LITEWORP protocol parameters.
+
+The symbols follow the paper: δ (watch-buffer deadline), V_f / V_d
+(malicious-counter increments for fabrication / drop), C_t (local
+detection threshold), θ (detection confidence index), and T (the time
+window over which malicious activity is accumulated — Table 2 uses 200).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LiteworpConfig:
+    """All LITEWORP tunables.
+
+    Attributes
+    ----------
+    delta:
+        δ — seconds a guard waits for the watched node to forward a packet
+        before accusing it of dropping.
+    v_fabricate, v_drop:
+        V_f and V_d — MalC increments for fabricating / dropping a control
+        packet.  Fabrication is stronger evidence (a collision can make a
+        drop look real far more easily than a fabrication).
+    c_t:
+        C_t — a guard revokes a neighbor when its MalC over the window
+        reaches this value.
+    theta:
+        θ — alerts from this many distinct guards isolate a node.
+    malc_window:
+        T — sliding window (seconds) for MalC accumulation.
+    overheard_window:
+        How long a guard remembers that a neighbor transmitted a given
+        packet (must exceed the duration of one route-discovery flood).
+    fabrication_grace:
+        Collision awareness: a fabrication accusation is withheld when the
+        guard's own radio lost a reception within this many seconds before
+        the suspicious forward (the missing evidence may have been lost on
+        the guard, not absent from the air).  Drop accusations use the
+        watch entry's own lifetime as the grace window.
+    watch_request_drops:
+        Also create drop expectations for flooded route requests (off by
+        default: duplicate suppression makes legitimate non-forwarding
+        common, so this setting trades detection speed for false alarms).
+    watch_data:
+        Extend monitoring to data packets (off in the paper; enabling it is
+        the extension that catches the protocol-deviation attacker when it
+        drops data).
+    second_hop_check:
+        Discard forwarded packets whose announced previous hop is not a
+        neighbor of the transmitter (paper 4.2.1).
+    monitor_enabled:
+        Master switch for guard monitoring (isolation still works from
+        received alerts).
+    alert_relay:
+        Deliver alerts to two-hop-away neighbors of the accused through a
+        common neighbor (otherwise only direct neighbors get them).
+    hello_jitter, reply_jitter, list_time, activate_time:
+        Neighbor-discovery schedule: HELLO within [0, hello_jitter], reply
+        within [0, reply_jitter] of hearing it, neighbor-list broadcast at
+        ``list_time``, filters/monitoring active at ``activate_time``.
+    hello_repeats:
+        HELLO retransmissions to ride out collisions during discovery.
+    """
+
+    delta: float = 0.8
+    v_fabricate: int = 2
+    v_drop: int = 1
+    c_t: int = 8
+    theta: int = 3
+    malc_window: float = 200.0
+    overheard_window: float = 10.0
+    fabrication_grace: float = 1.5
+    watch_request_drops: bool = False
+    watch_data: bool = False
+    second_hop_check: bool = True
+    monitor_enabled: bool = True
+    alert_relay: bool = True
+    hello_jitter: float = 0.3
+    reply_jitter: float = 0.3
+    list_time: float = 2.0
+    activate_time: float = 3.0
+    hello_repeats: int = 2
+
+    def __post_init__(self) -> None:
+        if self.delta <= 0:
+            raise ValueError("delta must be positive")
+        if self.v_fabricate < 1 or self.v_drop < 1:
+            raise ValueError("MalC increments must be at least 1")
+        if self.c_t < 1:
+            raise ValueError("c_t must be at least 1")
+        if self.theta < 1:
+            raise ValueError("theta must be at least 1")
+        if self.malc_window <= 0:
+            raise ValueError("malc_window must be positive")
+        if self.overheard_window <= 0:
+            raise ValueError("overheard_window must be positive")
+        if self.fabrication_grace < 0:
+            raise ValueError("fabrication_grace must be non-negative")
+        if self.hello_repeats < 1:
+            raise ValueError("hello_repeats must be at least 1")
+        if not 0 < self.list_time < self.activate_time:
+            raise ValueError("need 0 < list_time < activate_time")

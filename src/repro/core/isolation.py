@@ -1,0 +1,197 @@
+"""Response and isolation (paper 4.2.2).
+
+When a guard's MalC for a neighbor A crosses C_t, the guard:
+
+1. revokes A in its own neighbor list,
+2. sends an authenticated alert to every neighbor of A it knows from the
+   stored neighbor list ``R_A`` — directly when the recipient is also the
+   guard's neighbor, else through one relay (the paper's simulation
+   "informs all the neighbors of the detected node through multiple
+   unicasts").
+
+A recipient D verifies (a) the alert's authenticity under the pairwise key
+with the guard, (b) that the guard is a neighbor of A (i.e. actually in a
+position to watch A), and (c) that A is D's neighbor.  After alerts from
+``θ`` distinct guards, D marks A revoked: it will no longer accept packets
+from A or send packets to A.  Isolation is purely local to A's
+neighborhood — quick and cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.config import LiteworpConfig
+from repro.core.tables import NeighborTable
+from repro.crypto.auth import Authenticator
+from repro.crypto.keys import KeyStore
+from repro.net.node import Node
+from repro.net.packet import AlertPacket, Frame, NodeId
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceLog
+
+
+class IsolationManager:
+    """Per-node alert emission, verification, and revocation."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        table: NeighborTable,
+        keys: KeyStore,
+        config: LiteworpConfig,
+        trace: TraceLog,
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.table = table
+        self.keys = keys
+        self.config = config
+        self.trace = trace
+        self.alerts_sent = 0
+        self.alerts_accepted = 0
+        self.alerts_rejected = 0
+        self._revocation_callbacks: List[Callable[[NodeId], None]] = []
+
+    def on_revocation(self, callback: Callable[[NodeId], None]) -> None:
+        """Register a callback fired whenever a node is revoked locally."""
+        self._revocation_callbacks.append(callback)
+
+    # ------------------------------------------------------------------
+    # Guard side: detection -> revoke + alert
+    # ------------------------------------------------------------------
+    def handle_local_detection(self, accused: NodeId) -> None:
+        """Called by the monitor when MalC(owner, accused) crossed C_t."""
+        me = self.node.node_id
+        newly = self.table.revoke(accused)
+        self.trace.emit(self.sim.now, "guard_detection", guard=me, accused=accused)
+        if newly:
+            self._fire_revocation(accused)
+        for recipient in self._alert_recipients(accused):
+            self._send_alert(accused, recipient)
+
+    def _alert_recipients(self, accused: NodeId) -> List[NodeId]:
+        me = self.node.node_id
+        known = self.table.neighbors_of(accused)
+        recipients = set(known) if known is not None else set()
+        # Common first-hop neighbors are also at risk even if R_accused is
+        # incomplete.
+        for neighbor in self.table.active_neighbors():
+            reach = self.table.neighbors_of(neighbor)
+            if reach is not None and accused in reach:
+                recipients.add(neighbor)
+        recipients.discard(me)
+        recipients.discard(accused)
+        return sorted(recipients)
+
+    def _send_alert(self, accused: NodeId, recipient: NodeId) -> None:
+        me = self.node.node_id
+        key = self.keys.key_with(recipient)
+        if key is None:
+            return
+        auth = Authenticator.tag(key, "alert", me, accused, recipient)
+        if self.table.is_active_neighbor(recipient):
+            packet = AlertPacket(guard=me, accused=accused, recipient=recipient, auth=auth)
+            self.node.unicast(packet, next_hop=recipient, prev_hop=None)
+            self.alerts_sent += 1
+            return
+        if not self.config.alert_relay:
+            return
+        relay = self._pick_relay(accused, recipient)
+        if relay is None:
+            self.trace.emit(
+                self.sim.now, "alert_undeliverable", guard=me,
+                accused=accused, recipient=recipient,
+            )
+            return
+        packet = AlertPacket(
+            guard=me, accused=accused, recipient=recipient, auth=auth, relay_via=relay
+        )
+        self.node.unicast(packet, next_hop=relay, prev_hop=None)
+        self.alerts_sent += 1
+
+    def _pick_relay(self, accused: NodeId, recipient: NodeId) -> Optional[NodeId]:
+        """A neighbor (other than the accused) that can reach the recipient."""
+        for neighbor in self.table.active_neighbors():
+            if neighbor in (accused, recipient):
+                continue
+            reach = self.table.neighbors_of(neighbor)
+            if reach is not None and recipient in reach:
+                return neighbor
+        return None
+
+    # ------------------------------------------------------------------
+    # Recipient side
+    # ------------------------------------------------------------------
+    def on_frame(self, frame: Frame) -> None:
+        """Listener entry point for alert packets."""
+        packet = frame.packet
+        if not isinstance(packet, AlertPacket):
+            return
+        me = self.node.node_id
+        if frame.link_dst != me:
+            return
+        if packet.relay_via == me and packet.recipient != me:
+            self._relay_alert(packet)
+            return
+        if packet.recipient != me:
+            return
+        self._accept_alert(packet)
+
+    def _relay_alert(self, packet: AlertPacket) -> None:
+        """Forward a two-hop alert to its recipient (end-to-end tag keeps us
+        honest: we cannot alter the accusation)."""
+        if not self.table.is_active_neighbor(packet.recipient):
+            return
+        forwarded = AlertPacket(
+            guard=packet.guard,
+            accused=packet.accused,
+            recipient=packet.recipient,
+            auth=packet.auth,
+            relay_via=None,
+        )
+        self.node.unicast(forwarded, next_hop=packet.recipient, prev_hop=packet.guard)
+
+    def _accept_alert(self, packet: AlertPacket) -> None:
+        me = self.node.node_id
+        guard, accused = packet.guard, packet.accused
+        key = self.keys.key_with(guard)
+        if not Authenticator.verify(key, packet.auth, "alert", guard, accused, me):
+            self.alerts_rejected += 1
+            self.trace.emit(
+                self.sim.now, "alert_rejected", node=me, guard=guard,
+                accused=accused, reason="auth",
+            )
+            return
+        if not self.table.is_neighbor(accused):
+            self.alerts_rejected += 1
+            self.trace.emit(
+                self.sim.now, "alert_rejected", node=me, guard=guard,
+                accused=accused, reason="not_my_neighbor",
+            )
+            return
+        reach = self.table.neighbors_of(accused)
+        if reach is not None and guard not in reach and guard != accused:
+            # The claimed guard is not a neighbor of the accused: it cannot
+            # possibly watch A's links.
+            self.alerts_rejected += 1
+            self.trace.emit(
+                self.sim.now, "alert_rejected", node=me, guard=guard,
+                accused=accused, reason="not_a_guard",
+            )
+            return
+        self.alerts_accepted += 1
+        count = self.table.add_alert(accused, guard)
+        self.trace.emit(
+            self.sim.now, "alert_accepted", node=me, guard=guard,
+            accused=accused, count=count,
+        )
+        if count >= self.config.theta and not self.table.is_revoked(accused):
+            self.table.revoke(accused)
+            self.trace.emit(self.sim.now, "isolation", node=me, accused=accused, alerts=count)
+            self._fire_revocation(accused)
+
+    def _fire_revocation(self, accused: NodeId) -> None:
+        for callback in self._revocation_callbacks:
+            callback(accused)

@@ -1,0 +1,297 @@
+"""Local monitoring — the guard logic (paper 4.2.1 and 4.2.3).
+
+A guard of the link X -> A is a node that neighbors both X and A.  Because
+every forwarder must announce its previous hop, a guard can check two
+properties of each control packet it overhears from A:
+
+- **Fabrication** — A claims the packet came from X, but the guard (being
+  X's neighbor) never heard X transmit it.  MalC(guard, A) += V_f.
+- **Drop** — the guard heard X hand a packet to A (watch-buffer entry with
+  deadline δ), but A never forwarded it.  MalC(guard, A) += V_d.
+
+A node is trivially a guard of all its own outgoing links, so the monitor
+also records the node's *own* transmissions — for those, fabrication
+evidence is perfect (no collision can fool a node about what it itself
+sent).
+
+**Collision awareness** (engineering refinement over the paper, documented
+in DESIGN.md): a real radio senses that *something* was on the air even
+when it cannot decode it.  The monitor keeps the timestamps of its node's
+recent reception losses and withholds an accusation when the missing
+evidence could plausibly have been lost in one of them — a fabrication
+accusation is suppressed if a loss occurred within ``fabrication_grace``
+seconds before the suspicious forward, and a drop accusation if a loss
+occurred while the watch-buffer entry was pending.  This trades a slower
+MalC accrual against the malicious node (it still fabricates far more
+often than collisions occur) for a collapse of the false-accusation rate
+against honest nodes.
+
+When MalC crosses C_t within the sliding window the monitor fires its
+detection callback; alerting and revocation live in
+:mod:`repro.core.isolation`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from repro.core.config import LiteworpConfig
+from repro.core.tables import NeighborTable
+from repro.net.packet import (
+    DataPacket,
+    Frame,
+    NodeId,
+    RouteErrorPacket,
+    RouteReply,
+    RouteRequest,
+)
+from repro.sim.engine import Event, Simulator
+from repro.sim.trace import TraceLog
+
+PacketKey = Tuple[Any, ...]
+WatchKey = Tuple[PacketKey, NodeId]
+
+
+class LocalMonitor:
+    """The per-node guard: overheard store, watch buffer, MalC updates."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        owner: NodeId,
+        table: NeighborTable,
+        config: LiteworpConfig,
+        trace: TraceLog,
+        on_detection: Callable[[NodeId], None],
+    ) -> None:
+        self.sim = sim
+        self.owner = owner
+        self.table = table
+        self.config = config
+        self.trace = trace
+        self.on_detection = on_detection
+        self.enabled = config.monitor_enabled
+        # (packet key, transmitter) -> last transmission time.
+        self._overheard: "OrderedDict[WatchKey, float]" = OrderedDict()
+        # (packet key, watched node) -> deadline event.
+        self._expectations: Dict[WatchKey, Event] = {}
+        self._detected: Set[NodeId] = set()
+        self._recent_losses: "OrderedDict[int, float]" = OrderedDict()
+        self._loss_counter = 0
+        self.fabrications_seen = 0
+        self.drops_seen = 0
+        self.suppressed_accusations = 0
+        self.watch_buffer_peak = 0
+
+    # ------------------------------------------------------------------
+    # Collision awareness
+    # ------------------------------------------------------------------
+    def note_reception_loss(self, time: float) -> None:
+        """Record that the radio sensed a garbled reception at ``time``."""
+        self._loss_counter += 1
+        self._recent_losses[self._loss_counter] = time
+        cutoff = time - self.config.overheard_window
+        while self._recent_losses:
+            key, stamp = next(iter(self._recent_losses.items()))
+            if stamp >= cutoff:
+                break
+            self._recent_losses.popitem(last=False)
+
+    def _lost_since(self, since: float) -> bool:
+        """Whether any reception loss happened at or after ``since``."""
+        if not self._recent_losses:
+            return False
+        newest = next(reversed(self._recent_losses.values()))
+        return newest >= since
+
+    # ------------------------------------------------------------------
+    # Observation entry points
+    # ------------------------------------------------------------------
+    def observe(self, frame: Frame) -> None:
+        """Promiscuous tap: called for every frame the radio delivers."""
+        self._process(frame, own=False)
+
+    def observe_own(self, frame: Frame) -> None:
+        """Called for every frame this node itself transmits."""
+        self._process(frame, own=True)
+
+    # ------------------------------------------------------------------
+    # Core logic
+    # ------------------------------------------------------------------
+    def _process(self, frame: Frame, own: bool) -> None:
+        if not self.enabled:
+            return
+        packet = frame.packet
+        if isinstance(packet, RouteErrorPacket):
+            # The transmitter legitimately cannot forward: clear the watch.
+            if own or self.table.is_neighbor(frame.transmitter):
+                pending = self._expectations.pop(
+                    (packet.inner_key, frame.transmitter), None
+                )
+                if pending is not None:
+                    pending.cancel()
+            return
+        if isinstance(packet, DataPacket):
+            watched = self.config.watch_data
+        else:
+            watched = packet.monitored
+        if not watched:
+            return
+
+        now = self.sim.now
+        transmitter = frame.transmitter
+        key = packet.key()
+
+        if own or self.table.is_neighbor(transmitter):
+            self._remember((key, transmitter), now)
+            pending = self._expectations.pop((key, transmitter), None)
+            if pending is not None:
+                pending.cancel()
+
+        if not own:
+            self._check_fabrication(frame, key, transmitter)
+
+        self._maybe_watch(frame, key, transmitter, own)
+
+    def _check_fabrication(self, frame: Frame, key: PacketKey, transmitter: NodeId) -> None:
+        prev = frame.prev_hop
+        if prev is None:
+            return
+        if not self.table.is_neighbor(transmitter):
+            return
+        if not self.table.is_neighbor(prev):
+            # Not a guard of the claimed link: cannot judge.
+            return
+        if (key, prev) in self._overheard:
+            return
+        if self._lost_since(self.sim.now - self.config.fabrication_grace):
+            # Our own radio was impaired recently: the missing transmission
+            # may simply have been lost on us.  Withhold judgment.
+            self.suppressed_accusations += 1
+            return
+        self.fabrications_seen += 1
+        self._accuse(transmitter, self.config.v_fabricate, "fabrication", key)
+
+    def _maybe_watch(self, frame: Frame, key: PacketKey, transmitter: NodeId, own: bool) -> None:
+        packet = frame.packet
+        if frame.link_dst is not None:
+            watched_node = frame.link_dst
+            if watched_node == self.owner:
+                return
+            if not self.table.is_active_neighbor(watched_node):
+                return
+            if not own and not self.table.is_neighbor(transmitter):
+                return
+            if self._is_terminal(packet, watched_node):
+                return
+            self._add_expectation(key, watched_node)
+        elif self.config.watch_request_drops and isinstance(packet, RouteRequest):
+            self._watch_request_forwarders(packet, key, transmitter, own)
+
+    def _watch_request_forwarders(
+        self, packet: RouteRequest, key: PacketKey, transmitter: NodeId, own: bool
+    ) -> None:
+        """Optional: expect every common neighbor to rebroadcast a flooded
+        request unless it already did or is the origin/target."""
+        if not own and not self.table.is_neighbor(transmitter):
+            return
+        reach = self.table.neighbors_of(transmitter)
+        if reach is None:
+            return
+        for candidate in self.table.active_neighbors():
+            if candidate in (packet.origin, packet.target, transmitter):
+                continue
+            if candidate not in reach:
+                continue
+            if (key, candidate) in self._overheard:
+                continue
+            self._add_expectation(key, candidate)
+
+    @staticmethod
+    def _is_terminal(packet, link_dst: NodeId) -> bool:
+        """Whether ``link_dst`` legitimately consumes the packet (no forward
+        expected)."""
+        if isinstance(packet, RouteReply):
+            return link_dst == packet.origin
+        if isinstance(packet, DataPacket):
+            return link_dst == packet.destination
+        return True
+
+    # ------------------------------------------------------------------
+    # Watch buffer
+    # ------------------------------------------------------------------
+    def _add_expectation(self, key: PacketKey, watched: NodeId) -> None:
+        watch_key = (key, watched)
+        if watch_key in self._expectations:
+            return
+        event = self.sim.schedule(
+            self.config.delta, self._expectation_expired, watch_key, self.sim.now
+        )
+        self._expectations[watch_key] = event
+        if len(self._expectations) > self.watch_buffer_peak:
+            self.watch_buffer_peak = len(self._expectations)
+
+    def _expectation_expired(self, watch_key: WatchKey, created_at: float) -> None:
+        if self._expectations.pop(watch_key, None) is None:
+            return
+        key, watched = watch_key
+        if self._lost_since(created_at):
+            # The forward may have happened and been lost on us.
+            self.suppressed_accusations += 1
+            return
+        self.drops_seen += 1
+        self._accuse(watched, self.config.v_drop, "drop", key)
+
+    @property
+    def watch_buffer_size(self) -> int:
+        """Current number of pending watch-buffer entries."""
+        return len(self._expectations)
+
+    # ------------------------------------------------------------------
+    # MalC and detection
+    # ------------------------------------------------------------------
+    def _accuse(self, node: NodeId, value: int, reason: str, key: PacketKey) -> None:
+        if node in self._detected or self.table.is_revoked(node):
+            return
+        total = self.table.record_malicious(node, value, self.sim.now, self.config.malc_window)
+        self.trace.emit(
+            self.sim.now,
+            "malc_increment",
+            guard=self.owner,
+            accused=node,
+            value=value,
+            reason=reason,
+            packet=key,
+            total=total,
+        )
+        if total >= self.config.c_t:
+            self._detected.add(node)
+            self.on_detection(node)
+
+    def has_detected(self, node: NodeId) -> bool:
+        """Whether this guard's own MalC for ``node`` crossed C_t."""
+        return node in self._detected
+
+    def malc(self, node: NodeId) -> int:
+        """Convenience accessor for the windowed MalC of ``node``."""
+        return self.table.malc(node, self.sim.now, self.config.malc_window)
+
+    # ------------------------------------------------------------------
+    # Overheard store maintenance
+    # ------------------------------------------------------------------
+    def _remember(self, watch_key: WatchKey, now: float) -> None:
+        store = self._overheard
+        if watch_key in store:
+            store.move_to_end(watch_key)
+        store[watch_key] = now
+        cutoff = now - self.config.overheard_window
+        while store:
+            oldest_key, stamp = next(iter(store.items()))
+            if stamp >= cutoff:
+                break
+            store.popitem(last=False)
+
+    def heard_transmission(self, key: PacketKey, transmitter: NodeId) -> bool:
+        """Whether the guard remembers ``transmitter`` sending ``key``."""
+        return (key, transmitter) in self._overheard

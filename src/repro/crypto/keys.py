@@ -1,0 +1,65 @@
+"""Pairwise key management.
+
+:class:`PairwiseKeyManager` plays the role of the key-predistribution
+schemes the paper cites ([18][19][20]): after deployment, any two
+legitimate nodes share a symmetric key, and no outsider knows any key.
+Keys are derived as ``HMAC(master, sorted(i, j))`` so the scheme needs no
+communication — equivalent, at the protocol interface, to predistribution.
+
+:class:`KeyStore` is a node's view: it can produce the key it shares with
+any peer, but only if the node was *enrolled* (given the master).  An
+external (non-enrolled) attacker gets a key store that refuses to derive —
+modelling an outsider without cryptographic material.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Optional
+
+NodeId = int
+
+
+class PairwiseKeyManager:
+    """Network-wide key authority (simulates predistribution)."""
+
+    def __init__(self, master_secret: bytes = b"liteworp-deployment-master") -> None:
+        if not master_secret:
+            raise ValueError("master secret must be non-empty")
+        self._master = bytes(master_secret)
+
+    def pairwise_key(self, a: NodeId, b: NodeId) -> bytes:
+        """The symmetric key shared by nodes ``a`` and ``b`` (order-free)."""
+        if a == b:
+            raise ValueError("a node does not share a pairwise key with itself")
+        low, high = (a, b) if a <= b else (b, a)
+        material = f"pair:{low}:{high}".encode("utf-8")
+        return hmac.new(self._master, material, hashlib.sha256).digest()
+
+    def enroll(self, node: NodeId) -> "KeyStore":
+        """Key store for a legitimate (insider) node."""
+        return KeyStore(node, self)
+
+    def outsider(self, node: NodeId) -> "KeyStore":
+        """Key store for an external attacker: holds no keys."""
+        return KeyStore(node, None)
+
+
+class KeyStore:
+    """One node's keyring."""
+
+    def __init__(self, node: NodeId, manager: Optional[PairwiseKeyManager]) -> None:
+        self.node = node
+        self._manager = manager
+
+    @property
+    def has_keys(self) -> bool:
+        """Whether this node possesses legitimate cryptographic material."""
+        return self._manager is not None
+
+    def key_with(self, peer: NodeId) -> Optional[bytes]:
+        """Key shared with ``peer``, or None for an outsider."""
+        if self._manager is None:
+            return None
+        return self._manager.pairwise_key(self.node, peer)

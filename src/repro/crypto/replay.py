@@ -1,0 +1,59 @@
+"""Replay suppression.
+
+Guards and alert recipients must not double-count the same authenticated
+message (a wormhole could otherwise replay one legitimate alert many times).
+:class:`ReplayCache` remembers message identities within a sliding window.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+
+class ReplayCache:
+    """Sliding-window set of previously seen message identities.
+
+    Parameters
+    ----------
+    window:
+        Entries older than ``window`` seconds are forgotten.  ``None``
+        disables expiry (bounded only by ``max_entries``).
+    max_entries:
+        Hard size cap; oldest entries are evicted first.
+    """
+
+    def __init__(self, window: float | None = None, max_entries: int = 10_000) -> None:
+        if window is not None and window <= 0:
+            raise ValueError("window must be positive (or None)")
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self._window = window
+        self._max_entries = max_entries
+        self._seen: "OrderedDict[Hashable, float]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def seen_before(self, identity: Hashable, now: float) -> bool:
+        """Record ``identity``; return True if it was already present
+        (within the window)."""
+        self._expire(now)
+        if identity in self._seen:
+            self._seen.move_to_end(identity)
+            self._seen[identity] = now
+            return True
+        self._seen[identity] = now
+        if len(self._seen) > self._max_entries:
+            self._seen.popitem(last=False)
+        return False
+
+    def _expire(self, now: float) -> None:
+        if self._window is None:
+            return
+        cutoff = now - self._window
+        while self._seen:
+            identity, stamp = next(iter(self._seen.items()))
+            if stamp >= cutoff:
+                break
+            self._seen.popitem(last=False)

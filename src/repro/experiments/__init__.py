@@ -1,0 +1,50 @@
+"""Experiment harness: scenario assembly and per-figure runners.
+
+- :mod:`repro.experiments.parameters` — the paper's Table 2 inputs.
+- :mod:`repro.experiments.scenario` — build and run one simulated
+  deployment (topology, network, LITEWORP agents, attack, traffic,
+  metrics).
+- :mod:`repro.experiments.figures` — the figure/table regenerators used by
+  the benchmark suite (figures 8, 9, 10 from simulation; figure 6 and the
+  cost table from the analysis module).
+"""
+
+from repro.experiments.parameters import TABLE2, Table2Parameters
+from repro.experiments.records import ExperimentRecord, run_and_record
+from repro.experiments.scenario import (
+    Scenario,
+    ScenarioConfig,
+    average_runs,
+    build_scenario,
+    run_scenario,
+)
+from repro.experiments.stats import Summary, summarize, summarize_optional
+from repro.experiments.figures import (
+    Fig8Result,
+    Fig9Result,
+    Fig10Result,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+)
+
+__all__ = [
+    "ExperimentRecord",
+    "Fig10Result",
+    "Fig8Result",
+    "Fig9Result",
+    "Scenario",
+    "ScenarioConfig",
+    "Summary",
+    "TABLE2",
+    "Table2Parameters",
+    "average_runs",
+    "build_scenario",
+    "run_and_record",
+    "run_fig10",
+    "run_fig8",
+    "run_fig9",
+    "run_scenario",
+    "summarize",
+    "summarize_optional",
+]

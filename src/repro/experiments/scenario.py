@@ -1,0 +1,389 @@
+"""Scenario assembly: one simulated deployment end to end.
+
+``build_scenario`` wires together everything a run needs — topology,
+network, crypto, LITEWORP agents on honest nodes, attack agents on
+malicious nodes, traffic, and metrics — and ``run_scenario`` executes it
+and returns the report.  The defaults reproduce the paper's Table 2 setup
+with the out-of-band wormhole.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.attacks.agents import (
+    HighPowerRouting,
+    RelayAttacker,
+    RushingRouting,
+    TunnelRouting,
+)
+from repro.attacks.coordinator import TUNNEL_MODES, WormholeCoordinator
+from repro.baselines.leashes import LeashAgent, LeashConfig
+from repro.core.agent import LiteworpAgent
+from repro.core.config import LiteworpConfig
+from repro.crypto.keys import PairwiseKeyManager
+from repro.metrics.collector import MetricsCollector, MetricsReport
+from repro.net.network import Network, NetworkConfig
+from repro.net.packet import NodeId
+from repro.net.topology import Topology, choose_separated_nodes, generate_connected_topology
+from repro.routing.config import RoutingConfig
+from repro.routing.ondemand import OnDemandRouting
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceLog
+from repro.traffic.generator import TrafficConfig, TrafficGenerator
+
+ATTACK_MODES = ("none", "outofband", "encapsulation", "highpower", "relay", "rushing")
+DEFENSES = ("auto", "liteworp", "geo_leash", "temporal_leash", "none")
+
+
+def _default_leash_config() -> LeashConfig:
+    return LeashConfig()
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything that defines one simulated run.
+
+    ``defense`` selects the protection scheme: ``"liteworp"`` (this
+    paper), ``"geo_leash"`` / ``"temporal_leash"`` (the packet-leash
+    baseline from the paper's related work), or ``"none"``.  The default
+    ``"auto"`` derives it from the legacy ``liteworp_enabled`` flag.
+    """
+
+    n_nodes: int = 100
+    tx_range: float = 30.0
+    avg_neighbors: float = 8.0
+    seed: int = 1
+    duration: float = 300.0
+    liteworp_enabled: bool = True
+    defense: str = "auto"
+    liteworp: LiteworpConfig = field(default_factory=LiteworpConfig)
+    leash: "LeashConfig" = field(default_factory=lambda: _default_leash_config())
+    oracle_neighbors: bool = True
+    routing: RoutingConfig = field(default_factory=RoutingConfig)
+    traffic: TrafficConfig = field(default_factory=TrafficConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    n_malicious: int = 2
+    attack_mode: str = "outofband"
+    attack_start: float = 50.0
+    malicious_min_separation: int = 2
+    fake_prev_strategy: str = "smart"
+    encap_hop_delay: float = 0.02
+    highpower_multiplier: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.attack_mode not in ATTACK_MODES:
+            raise ValueError(f"attack_mode must be one of {ATTACK_MODES}")
+        if self.defense not in DEFENSES:
+            raise ValueError(f"defense must be one of {DEFENSES}")
+        if self.n_malicious < 0:
+            raise ValueError("n_malicious must be non-negative")
+        if self.attack_mode in TUNNEL_MODES and 0 < self.n_malicious < 2:
+            raise ValueError("tunnel modes need at least two colluders")
+        if self.attack_mode in ("highpower", "relay", "rushing") and self.n_malicious > 1:
+            raise ValueError(f"{self.attack_mode} uses exactly one malicious node")
+        if self.duration <= self.attack_start and self.attack_mode != "none" and self.n_malicious:
+            raise ValueError("duration must extend past attack_start")
+        if self.n_nodes < 4:
+            raise ValueError("need at least 4 nodes")
+
+    def effective_defense(self) -> str:
+        """Resolve ``"auto"`` against the legacy boolean flag."""
+        if self.defense != "auto":
+            return self.defense
+        return "liteworp" if self.liteworp_enabled else "none"
+
+    def effective_malicious(self) -> int:
+        """Malicious node count after mode constraints (0 disables attack)."""
+        if self.attack_mode == "none":
+            return 0
+        if self.attack_mode in TUNNEL_MODES and self.n_malicious < 2:
+            return 0
+        return self.n_malicious
+
+
+@dataclass
+class Scenario:
+    """A built (but not yet run) deployment with all live objects exposed."""
+
+    config: ScenarioConfig
+    sim: Simulator
+    rng: RngRegistry
+    trace: TraceLog
+    topology: Topology
+    network: Network
+    routers: Dict[NodeId, OnDemandRouting]
+    agents: Dict[NodeId, LiteworpAgent]
+    traffic: TrafficGenerator
+    metrics: MetricsCollector
+    malicious_ids: Tuple[NodeId, ...]
+    coordinator: Optional[WormholeCoordinator] = None
+    relay_attacker: Optional[RelayAttacker] = None
+    leash_agents: Dict[NodeId, LeashAgent] = field(default_factory=dict)
+
+    @property
+    def honest_ids(self) -> Tuple[NodeId, ...]:
+        """Node ids not under attacker control."""
+        bad = set(self.malicious_ids)
+        return tuple(n for n in self.network.node_ids() if n not in bad)
+
+    def run(self) -> MetricsReport:
+        """Execute to the configured horizon and return the metrics."""
+        self.traffic.start()
+        self.sim.run(until=self.config.duration)
+        return self.metrics.report(duration=self.config.duration)
+
+
+def build_scenario(config: ScenarioConfig) -> Scenario:
+    """Assemble a deployment per ``config`` (deterministic given the seed)."""
+    rng = RngRegistry(seed=config.seed)
+    sim = Simulator()
+    trace = TraceLog()
+    topology = generate_connected_topology(
+        config.n_nodes,
+        config.tx_range,
+        config.avg_neighbors,
+        rng.stream("topology"),
+        min_degree=2,
+    )
+    network = Network(sim, topology, rng, trace=trace, config=config.network)
+    keys = PairwiseKeyManager()
+
+    malicious_ids = _choose_malicious(config, topology, rng.stream("attack-placement"))
+    malicious_set = frozenset(malicious_ids)
+
+    coordinator: Optional[WormholeCoordinator] = None
+    if config.attack_mode in TUNNEL_MODES and malicious_ids:
+        coordinator = WormholeCoordinator(
+            sim,
+            network,
+            trace,
+            mode=config.attack_mode,
+            encap_hop_delay=config.encap_hop_delay,
+            rng=rng.stream("attack"),
+        )
+
+    routers: Dict[NodeId, OnDemandRouting] = {}
+    agents: Dict[NodeId, LiteworpAgent] = {}
+    leash_agents: Dict[NodeId, LeashAgent] = {}
+    relay_attacker: Optional[RelayAttacker] = None
+    adjacency = topology.adjacency()
+    defense = config.effective_defense()
+    leash_config = replace(
+        config.leash,
+        kind="geographic" if defense == "geo_leash" else config.leash.kind,
+        comm_range=config.tx_range,
+        bandwidth_bps=config.network.bandwidth_bps,
+    )
+    if defense == "temporal_leash":
+        leash_config = replace(leash_config, kind="temporal")
+
+    for node_id in network.node_ids():
+        node = network.node(node_id)
+        node_rng = rng.stream(f"routing:{node_id}")
+        if node_id in malicious_set:
+            router = _build_malicious_router(
+                config, sim, node, trace, node_rng, network, coordinator
+            )
+            if defense == "liteworp" and not config.oracle_neighbors:
+                # Insider nodes are compromised only after the compromise
+                # threshold time T_CT: during discovery they participate
+                # like everyone else (reply to HELLOs, broadcast their
+                # neighbor list) so honest tables include them.
+                from repro.core.discovery import NeighborDiscovery
+                from repro.core.tables import NeighborTable
+
+                NeighborDiscovery(
+                    sim,
+                    node,
+                    NeighborTable(node_id),
+                    keys.enroll(node_id),
+                    config.liteworp,
+                    trace,
+                    rng.stream(f"liteworp:{node_id}"),
+                ).start()
+            if config.attack_mode == "relay":
+                relay_attacker = _build_relay_attacker(config, sim, node, topology, trace, rng)
+            if defense in ("geo_leash", "temporal_leash"):
+                # Insider attackers run the leash protocol too: leashing
+                # their own transmissions truthfully is exactly how they
+                # evade the scheme.
+                # Attackers stamp but never reject (a filter would only
+                # protect them, and their behaviour stays unconstrained).
+                insider = LeashAgent(
+                    sim, node, network.radio, leash_config, trace,
+                    verify_incoming=False,
+                )
+                network.channel.set_frame_stamper(node_id, insider.stamp)
+        else:
+            if defense == "liteworp":
+                agent = LiteworpAgent(
+                    sim,
+                    node,
+                    keys.enroll(node_id),
+                    config.liteworp,
+                    trace,
+                    rng=rng.stream(f"liteworp:{node_id}"),
+                )
+                agents[node_id] = agent
+                network.channel.attach_loss_handler(
+                    node_id, agent.monitor.note_reception_loss
+                )
+            elif defense in ("geo_leash", "temporal_leash"):
+                leash_agent = LeashAgent(
+                    sim, node, network.radio, leash_config, trace
+                )
+                leash_agents[node_id] = leash_agent
+                network.channel.set_frame_stamper(node_id, leash_agent.stamp)
+            router = OnDemandRouting(sim, node, config.routing, trace, node_rng)
+            if defense == "liteworp":
+                agents[node_id].attach_router(router)
+        routers[node_id] = router
+
+    if defense == "liteworp":
+        for node_id, agent in agents.items():
+            if config.oracle_neighbors:
+                agent.install_oracle(adjacency)
+            else:
+                agent.start_discovery()
+
+    activation_time = config.attack_start
+    if coordinator is not None:
+        coordinator.activate_at(activation_time)
+    else:
+        for node_id in malicious_ids:
+            router = routers[node_id]
+            if hasattr(router, "activate"):
+                sim.schedule_at(activation_time, router.activate)
+        if relay_attacker is not None:
+            sim.schedule_at(activation_time, relay_attacker.activate)
+
+    honest = [n for n in network.node_ids() if n not in malicious_set]
+    traffic = TrafficGenerator(sim, routers, honest, rng, config=config.traffic)
+
+    honest_neighbors = {
+        m: frozenset(n for n in adjacency[m] if n not in malicious_set)
+        for m in malicious_ids
+    }
+    metrics = MetricsCollector(
+        trace,
+        malicious_ids=malicious_ids,
+        honest_neighbors=honest_neighbors,
+    )
+    metrics.attach_network(network)
+
+    return Scenario(
+        config=config,
+        sim=sim,
+        rng=rng,
+        trace=trace,
+        topology=topology,
+        network=network,
+        routers=routers,
+        agents=agents,
+        traffic=traffic,
+        metrics=metrics,
+        malicious_ids=tuple(malicious_ids),
+        coordinator=coordinator,
+        relay_attacker=relay_attacker,
+        leash_agents=leash_agents,
+    )
+
+
+def run_scenario(config: ScenarioConfig) -> MetricsReport:
+    """Build and run one scenario; convenience for sweeps."""
+    return build_scenario(config).run()
+
+
+def average_runs(config: ScenarioConfig, runs: int) -> List[MetricsReport]:
+    """Run ``runs`` independent replications (the paper averages 30)."""
+    if runs < 1:
+        raise ValueError("runs must be at least 1")
+    reports = []
+    for index in range(runs):
+        reports.append(run_scenario(replace(config, seed=config.seed + 1000 * index)))
+    return reports
+
+
+# ----------------------------------------------------------------------
+# Internal helpers
+# ----------------------------------------------------------------------
+def _choose_malicious(
+    config: ScenarioConfig, topology: Topology, rng: random.Random
+) -> List[NodeId]:
+    count = config.effective_malicious()
+    if count == 0:
+        return []
+    if config.attack_mode == "relay":
+        node = _find_relay_position(topology, rng)
+        return [node]
+    return choose_separated_nodes(
+        topology, count, config.malicious_min_separation, rng
+    )
+
+
+def _find_relay_position(topology: Topology, rng: random.Random) -> NodeId:
+    """A node with two neighbors that are not each other's neighbors."""
+    adjacency = topology.adjacency()
+    candidates = list(topology.node_ids)
+    rng.shuffle(candidates)
+    for node in candidates:
+        if _relay_victims(adjacency, node) is not None:
+            return node
+    raise RuntimeError("no suitable relay position in this topology")
+
+
+def _relay_victims(adjacency, node: NodeId) -> Optional[Tuple[NodeId, NodeId]]:
+    neighbors = adjacency[node]
+    for i, a in enumerate(neighbors):
+        near_a = set(adjacency[a])
+        for b in neighbors[i + 1:]:
+            if b not in near_a:
+                return (a, b)
+    return None
+
+
+def _build_malicious_router(
+    config: ScenarioConfig,
+    sim: Simulator,
+    node,
+    trace: TraceLog,
+    node_rng: random.Random,
+    network: Network,
+    coordinator: Optional[WormholeCoordinator],
+) -> OnDemandRouting:
+    if config.attack_mode in TUNNEL_MODES:
+        assert coordinator is not None
+        return TunnelRouting(
+            sim, node, config.routing, trace, node_rng,
+            coordinator=coordinator,
+            network=network,
+            fake_prev_strategy=config.fake_prev_strategy,
+        )
+    if config.attack_mode == "highpower":
+        return HighPowerRouting(
+            sim, node, config.routing, trace, node_rng,
+            network=network,
+            range_multiplier=config.highpower_multiplier,
+        )
+    if config.attack_mode == "rushing":
+        return RushingRouting(sim, node, config.routing, trace, node_rng)
+    # relay: the attacker runs plain routing; the relay sits below it.
+    return OnDemandRouting(sim, node, config.routing, trace, node_rng)
+
+
+def _build_relay_attacker(
+    config: ScenarioConfig,
+    sim: Simulator,
+    node,
+    topology: Topology,
+    trace: TraceLog,
+    rng: RngRegistry,
+) -> RelayAttacker:
+    victims = _relay_victims(topology.adjacency(), node.node_id)
+    if victims is None:  # pragma: no cover - placement guarantees a pair
+        raise RuntimeError("relay node lost its victim pair")
+    return RelayAttacker(sim, node, victims, trace)

@@ -1,0 +1,57 @@
+"""Summary statistics for multi-run experiments.
+
+The paper averages over 30 runs; these helpers carry the spread along
+with the mean so the figure outputs can report mean ± std and a normal
+confidence interval without pulling in heavyweight dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean, standard deviation, and count of a sample."""
+
+    mean: float
+    std: float
+    count: int
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean."""
+        if self.count <= 0:
+            return 0.0
+        return self.std / math.sqrt(self.count)
+
+    def confidence_interval(self, z: float = 1.96) -> Tuple[float, float]:
+        """Normal-approximation CI (default 95%)."""
+        margin = z * self.sem
+        return (self.mean - margin, self.mean + margin)
+
+    def format(self, precision: int = 3) -> str:
+        """Render as ``mean ± std (n=count)``."""
+        return f"{self.mean:.{precision}f} ± {self.std:.{precision}f} (n={self.count})"
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary of a sample; empty samples yield a zero summary."""
+    values = [float(v) for v in values]
+    if not values:
+        return Summary(mean=0.0, std=0.0, count=0)
+    if len(values) == 1:
+        return Summary(mean=values[0], std=0.0, count=1)
+    return Summary(
+        mean=statistics.fmean(values),
+        std=statistics.stdev(values),
+        count=len(values),
+    )
+
+
+def summarize_optional(values: Sequence[Optional[float]]) -> Summary:
+    """Summary ignoring ``None`` entries (e.g. never-isolated latencies)."""
+    return summarize([v for v in values if v is not None])

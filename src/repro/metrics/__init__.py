@@ -1,0 +1,11 @@
+"""Experiment metrics.
+
+:class:`~repro.metrics.collector.MetricsCollector` subscribes to the trace
+log and accumulates the paper's output parameters live: cumulative data
+packets dropped, routes established / malicious routes, detection and
+isolation events, and isolation latency per malicious node.
+"""
+
+from repro.metrics.collector import MetricsCollector, MetricsReport
+
+__all__ = ["MetricsCollector", "MetricsReport"]

@@ -1,0 +1,260 @@
+"""Trace-driven metric accumulation.
+
+The paper's output parameters (section 6): "the isolation latency, the
+number of data packets dropped due to the wormhole, the number of routes
+established, and the number of routes affected by the wormhole", with
+losses due to natural collisions accounted separately.
+
+Drop accounting distinguishes:
+
+- ``wormhole_drops`` — data packets a malicious node swallowed
+  (``malicious_drop`` traces), the paper's figure-8 quantity;
+- ``undelivered`` — originated minus delivered, which additionally counts
+  natural losses (collisions, MAC give-ups, missing routes) and packets
+  still in flight at the horizon.
+
+Isolation latency for malicious node m = (time every honest ground-truth
+neighbor of m has revoked m) − (m's first malicious act).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.net.packet import NodeId
+from repro.sim.trace import TraceLog, TraceRecord
+
+
+@dataclass
+class MetricsReport:
+    """Immutable summary produced by :meth:`MetricsCollector.report`."""
+
+    duration: float
+    originated: int
+    delivered: int
+    wormhole_drops: int
+    routes_established: int
+    malicious_routes: int
+    drop_times: Tuple[float, ...]
+    isolation_times: Dict[NodeId, float]
+    first_activity: Dict[NodeId, float]
+    detections: int
+    isolations: int
+    false_isolations: Dict[NodeId, int] = field(default_factory=dict)
+
+    @property
+    def undelivered(self) -> int:
+        """Originated packets that never reached their destination."""
+        return max(0, self.originated - self.delivered)
+
+    @property
+    def fraction_dropped(self) -> float:
+        """Undelivered fraction of originated data packets."""
+        if self.originated == 0:
+            return 0.0
+        return self.undelivered / self.originated
+
+    @property
+    def fraction_wormhole_dropped(self) -> float:
+        """Wormhole-swallowed fraction of originated data packets."""
+        if self.originated == 0:
+            return 0.0
+        return self.wormhole_drops / self.originated
+
+    @property
+    def fraction_malicious_routes(self) -> float:
+        """Wormhole-influenced fraction of established routes."""
+        if self.routes_established == 0:
+            return 0.0
+        return self.malicious_routes / self.routes_established
+
+    def isolation_latency(self, node: NodeId) -> Optional[float]:
+        """Seconds from first malicious act to complete neighborhood
+        isolation, or None if never fully isolated."""
+        done = self.isolation_times.get(node)
+        started = self.first_activity.get(node)
+        if done is None or started is None:
+            return None
+        return max(0.0, done - started)
+
+    def mean_isolation_latency(self) -> Optional[float]:
+        """Average isolation latency over fully isolated malicious nodes."""
+        latencies = [
+            latency
+            for node in self.isolation_times
+            if (latency := self.isolation_latency(node)) is not None
+        ]
+        if not latencies:
+            return None
+        return sum(latencies) / len(latencies)
+
+    def cumulative_drops_at(self, time: float) -> int:
+        """Wormhole drops up to and including ``time`` (figure 8 series)."""
+        return bisect.bisect_right(self.drop_times, time)
+
+    def drop_series(self, times: Sequence[float]) -> List[int]:
+        """Cumulative wormhole drops sampled at each time."""
+        return [self.cumulative_drops_at(t) for t in times]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable summary (drop times elided to a count)."""
+        return {
+            "duration": self.duration,
+            "originated": self.originated,
+            "delivered": self.delivered,
+            "undelivered": self.undelivered,
+            "fraction_dropped": self.fraction_dropped,
+            "wormhole_drops": self.wormhole_drops,
+            "fraction_wormhole_dropped": self.fraction_wormhole_dropped,
+            "routes_established": self.routes_established,
+            "malicious_routes": self.malicious_routes,
+            "fraction_malicious_routes": self.fraction_malicious_routes,
+            "detections": self.detections,
+            "isolations": self.isolations,
+            "isolation_latencies": {
+                str(node): self.isolation_latency(node) for node in self.isolation_times
+            },
+            "false_isolations": {str(k): v for k, v in self.false_isolations.items()},
+        }
+
+
+class MetricsCollector:
+    """Live accumulator attached to a trace log.
+
+    Parameters
+    ----------
+    trace:
+        The experiment's trace log; subscriptions are installed here.
+    malicious_ids:
+        Ground-truth malicious node set.
+    honest_neighbors:
+        Ground truth: honest neighbors of each malicious node — the
+        set whose unanimous revocation constitutes complete isolation.
+
+    A route counts as *malicious* when a malicious node physically
+    transmitted its route reply (i.e. sits on the reverse path the data
+    will follow) — attach the collector to the network with
+    :meth:`attach_network` to enable that ground-truth check.
+    """
+
+    def __init__(
+        self,
+        trace: TraceLog,
+        malicious_ids: Sequence[NodeId] = (),
+        honest_neighbors: Optional[Dict[NodeId, FrozenSet[NodeId]]] = None,
+    ) -> None:
+        self.malicious = frozenset(malicious_ids)
+        self.honest_neighbors = honest_neighbors or {}
+        self._wormhole_reps: Set[Tuple[NodeId, int]] = set()
+        self.originated = 0
+        self.delivered = 0
+        self.routes_established = 0
+        self.malicious_routes = 0
+        self.detections = 0
+        self.isolations = 0
+        self.drop_times: List[float] = []
+        self.first_activity: Dict[NodeId, float] = {}
+        self.isolation_times: Dict[NodeId, float] = {}
+        self.false_isolations: Dict[NodeId, int] = {}
+        self._revokers: Dict[NodeId, Set[NodeId]] = {}
+        self._last_time = 0.0
+        trace.subscribe("data_origin", self._on_origin)
+        trace.subscribe("data_delivered", self._on_delivered)
+        trace.subscribe("malicious_drop", self._on_drop)
+        trace.subscribe("route_established", self._on_route)
+        trace.subscribe("wormhole_activity", self._on_activity)
+        trace.subscribe("guard_detection", self._on_detection)
+        trace.subscribe("isolation", self._on_isolation)
+
+    def attach_network(self, network) -> None:
+        """Observe physical transmissions so malicious route replies can be
+        attributed with ground truth."""
+        network.channel.add_tx_observer(self._on_physical_tx)
+
+    def _on_physical_tx(self, sender: NodeId, frame, time: float) -> None:
+        if sender not in self.malicious:
+            return
+        packet = frame.packet
+        key = getattr(packet, "key", None)
+        if key is None:
+            return
+        identity = packet.key()
+        if identity and identity[0] == "REP":
+            self._wormhole_reps.add((identity[1], identity[2]))
+
+    # ------------------------------------------------------------------
+    # Subscriptions
+    # ------------------------------------------------------------------
+    def _on_origin(self, record: TraceRecord) -> None:
+        self.originated += 1
+        self._last_time = record.time
+
+    def _on_delivered(self, record: TraceRecord) -> None:
+        self.delivered += 1
+        self._last_time = record.time
+
+    def _on_drop(self, record: TraceRecord) -> None:
+        self.drop_times.append(record.time)
+        self._last_time = record.time
+
+    def _on_route(self, record: TraceRecord) -> None:
+        self.routes_established += 1
+        key = (record["origin"], record["request_id"])
+        path_hits = self.malicious.intersection(record.get("path", ()))
+        next_hop_malicious = record.get("next_hop") in self.malicious
+        if key in self._wormhole_reps or path_hits or next_hop_malicious:
+            self.malicious_routes += 1
+        self._last_time = record.time
+
+    def _on_activity(self, record: TraceRecord) -> None:
+        node = record["node"]
+        self.first_activity.setdefault(node, record.time)
+
+    def _on_detection(self, record: TraceRecord) -> None:
+        self.detections += 1
+        self._note_revocation(record["accused"], record["guard"], record.time)
+
+    def _on_isolation(self, record: TraceRecord) -> None:
+        self.isolations += 1
+        self._note_revocation(record["accused"], record["node"], record.time)
+
+    def _note_revocation(self, accused: NodeId, revoker: NodeId, time: float) -> None:
+        if accused not in self.malicious:
+            self.false_isolations[accused] = self.false_isolations.get(accused, 0) + 1
+            return
+        revokers = self._revokers.setdefault(accused, set())
+        revokers.add(revoker)
+        required = self.honest_neighbors.get(accused)
+        if required is not None and accused not in self.isolation_times:
+            if required.issubset(revokers):
+                self.isolation_times[accused] = time
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def revokers_of(self, accused: NodeId) -> FrozenSet[NodeId]:
+        """Nodes that have revoked ``accused`` so far."""
+        return frozenset(self._revokers.get(accused, ()))
+
+    def fully_isolated(self, node: NodeId) -> bool:
+        """Whether every honest neighbor of ``node`` has revoked it."""
+        return node in self.isolation_times
+
+    def report(self, duration: Optional[float] = None) -> MetricsReport:
+        """Snapshot the accumulated metrics."""
+        return MetricsReport(
+            duration=duration if duration is not None else self._last_time,
+            originated=self.originated,
+            delivered=self.delivered,
+            wormhole_drops=len(self.drop_times),
+            routes_established=self.routes_established,
+            malicious_routes=self.malicious_routes,
+            drop_times=tuple(self.drop_times),
+            isolation_times=dict(self.isolation_times),
+            first_activity=dict(self.first_activity),
+            detections=self.detections,
+            isolations=self.isolations,
+            false_isolations=dict(self.false_isolations),
+        )

@@ -1,0 +1,30 @@
+"""Mobility extension (paper section 7, future work).
+
+The paper's LITEWORP targets static networks and names the extension to
+mobility as future work: "the fundamental requirement is the ability of a
+node to securely determine its first hop and second hop neighbors in the
+face of mobility", to be met by augmenting LITEWORP with a dynamic secure
+neighbor-discovery protocol.
+
+This package implements that augmentation:
+
+- :class:`~repro.mobility.waypoint.RandomWaypointModel` — random-waypoint
+  movement for a configurable subset of nodes, stepping positions on the
+  simulation clock and invalidating the radio's coverage cache.
+- :class:`~repro.mobility.dynamic.DynamicNeighborhood` — the dynamic
+  secure neighbor-discovery manager: on every movement step it detects
+  link formation and link breakage, runs an authenticated two-way
+  handshake for new links (the mobile-HELLO exchange of [15][16] in the
+  paper's citations), updates both ends' first-hop tables, refreshes the
+  stored neighbor lists of everyone in radio range, and retires stale
+  links so the legitimacy checks stay sound.
+
+Revocations survive movement: a node isolated in one neighborhood remains
+revoked in every table that learned of it, so a wormhole cannot outrun
+its reputation by relocating.
+"""
+
+from repro.mobility.dynamic import DynamicNeighborhood
+from repro.mobility.waypoint import RandomWaypointModel, WaypointConfig
+
+__all__ = ["DynamicNeighborhood", "RandomWaypointModel", "WaypointConfig"]

@@ -1,0 +1,162 @@
+"""Dynamic secure neighbor discovery for mobile LITEWORP.
+
+Models the paper's proposed augmentation: when two nodes move into radio
+range they run an authenticated two-way handshake (HELLO / challenge
+reply, as in the directional-antenna and rushing-attack papers the
+authors cite) before either treats the other as a neighbor.  The
+handshake is abstracted as a fixed latency plus the requirement that both
+parties hold legitimate keys; its *outcome* — updated first-hop tables at
+both ends and refreshed stored neighbor lists at everyone in range — is
+applied atomically on completion.
+
+Security properties preserved under mobility:
+
+- **Revocation is sticky.**  A node that was revoked stays revoked in any
+  table that ever learned of it; moving to a new neighborhood does not
+  launder its reputation there either, because alert state lives in the
+  tables of its accusers (a fresh neighborhood does start clean — the
+  paper's isolation is local by design).
+- **Outsiders stay out.**  A keyless node fails the handshake and never
+  enters a neighbor list, exactly as in static discovery.
+- **Second-hop views stay fresh.**  Every link formation/breakage
+  refreshes the stored ``R_n`` of both endpoints at all their current
+  neighbors, keeping the legitimacy checks sound while topology changes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.core.agent import LiteworpAgent
+from repro.net.packet import NodeId
+from repro.net.radio import UnitDiskRadio, distance
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceLog
+
+Link = FrozenSet[NodeId]
+
+
+class DynamicNeighborhood:
+    """Keeps LITEWORP neighbor tables consistent with a moving topology."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        radio: UnitDiskRadio,
+        agents: Dict[NodeId, LiteworpAgent],
+        trace: TraceLog,
+        handshake_latency: float = 0.3,
+        keyless: Optional[Set[NodeId]] = None,
+    ) -> None:
+        if handshake_latency < 0:
+            raise ValueError("handshake_latency must be non-negative")
+        self.sim = sim
+        self.radio = radio
+        self.agents = agents
+        self.trace = trace
+        self.handshake_latency = handshake_latency
+        self.keyless = keyless or set()
+        self._links: Set[Link] = set()
+        self._pending: Set[Link] = set()
+        self.links_formed = 0
+        self.links_broken = 0
+        self.handshakes_rejected = 0
+        for node in radio.node_ids:
+            for neighbor in radio.neighbors(node):
+                self._links.add(frozenset((node, neighbor)))
+
+    # ------------------------------------------------------------------
+    # Movement hook
+    # ------------------------------------------------------------------
+    def on_position_update(self, moved: NodeId, _position: Tuple[float, float]) -> None:
+        """Subscribe this to the mobility model."""
+        moved_pos = self.radio.position(moved)
+        reach = self.radio.tx_range(moved)
+        for other in self.radio.node_ids:
+            if other == moved:
+                continue
+            link = frozenset((moved, other))
+            in_range = distance(moved_pos, self.radio.position(other)) <= min(
+                reach, self.radio.tx_range(other)
+            )
+            if in_range and link not in self._links and link not in self._pending:
+                self._begin_handshake(link)
+            elif not in_range and link in self._links:
+                self._break_link(link)
+
+    # ------------------------------------------------------------------
+    # Link formation
+    # ------------------------------------------------------------------
+    def _begin_handshake(self, link: Link) -> None:
+        a, b = tuple(link)
+        if a in self.keyless or b in self.keyless:
+            self.handshakes_rejected += 1
+            self.trace.emit(self.sim.now, "mobile_handshake_rejected", a=a, b=b)
+            return
+        self._pending.add(link)
+        self.sim.schedule(self.handshake_latency, self._complete_handshake, link)
+
+    def _complete_handshake(self, link: Link) -> None:
+        self._pending.discard(link)
+        a, b = tuple(link)
+        # Still in mutual range after the handshake latency?
+        if distance(self.radio.position(a), self.radio.position(b)) > min(
+            self.radio.tx_range(a), self.radio.tx_range(b)
+        ):
+            return
+        self._links.add(link)
+        self.links_formed += 1
+        self.trace.emit(self.sim.now, "mobile_link_formed", a=a, b=b)
+        self._admit(a, b)
+        self._admit(b, a)
+        self._refresh_neighbor_lists(a)
+        self._refresh_neighbor_lists(b)
+
+    def _admit(self, node: NodeId, newcomer: NodeId) -> None:
+        agent = self.agents.get(node)
+        if agent is None:
+            return
+        if agent.table.is_revoked(newcomer):
+            # Sticky revocation: a known-bad node cannot re-enter.
+            self.trace.emit(
+                self.sim.now, "mobile_admission_refused", node=node, revoked=newcomer
+            )
+            return
+        agent.table.add_neighbor(newcomer)
+
+    # ------------------------------------------------------------------
+    # Link breakage
+    # ------------------------------------------------------------------
+    def _break_link(self, link: Link) -> None:
+        self._links.discard(link)
+        a, b = tuple(link)
+        self.links_broken += 1
+        self.trace.emit(self.sim.now, "mobile_link_broken", a=a, b=b)
+        self._expel(a, b)
+        self._expel(b, a)
+        self._refresh_neighbor_lists(a)
+        self._refresh_neighbor_lists(b)
+
+    def _expel(self, node: NodeId, departed: NodeId) -> None:
+        agent = self.agents.get(node)
+        if agent is None:
+            return
+        agent.table.remove_neighbor(departed)
+
+    # ------------------------------------------------------------------
+    # Second-hop refresh
+    # ------------------------------------------------------------------
+    def current_neighbors(self, node: NodeId) -> Tuple[NodeId, ...]:
+        """The link-state view of ``node``'s neighbors."""
+        return tuple(
+            sorted(other for link in self._links if node in link for other in link if other != node)
+        )
+
+    def _refresh_neighbor_lists(self, node: NodeId) -> None:
+        """Push node's fresh R_n to every current neighbor (authenticated
+        NLIST refresh in the real protocol)."""
+        members = self.current_neighbors(node)
+        for neighbor in members:
+            agent = self.agents.get(neighbor)
+            if agent is not None:
+                agent.table.set_neighbor_list(node, members)

@@ -1,0 +1,137 @@
+"""Random-waypoint mobility.
+
+Each mobile node picks a uniform random waypoint in the field, moves
+toward it at a speed drawn from [min_speed, max_speed], pauses, and
+repeats.  Positions advance in discrete steps of ``step_interval``
+seconds; each step updates the radio (invalidating its coverage cache)
+and notifies subscribers so the dynamic neighbor-discovery layer can
+react to link changes.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.net.packet import NodeId
+from repro.net.radio import UnitDiskRadio
+from repro.sim.engine import Simulator
+
+Position = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class WaypointConfig:
+    """Random-waypoint parameters."""
+
+    field_side: float
+    min_speed: float = 1.0
+    max_speed: float = 5.0
+    pause_time: float = 2.0
+    step_interval: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.field_side <= 0:
+            raise ValueError("field_side must be positive")
+        if not 0 < self.min_speed <= self.max_speed:
+            raise ValueError("need 0 < min_speed <= max_speed")
+        if self.pause_time < 0:
+            raise ValueError("pause_time must be non-negative")
+        if self.step_interval <= 0:
+            raise ValueError("step_interval must be positive")
+
+
+@dataclass
+class _NodeMotion:
+    position: Position
+    target: Position
+    speed: float
+    pause_until: float = 0.0
+
+
+class RandomWaypointModel:
+    """Drives the positions of a set of mobile nodes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        radio: UnitDiskRadio,
+        mobile_nodes: Sequence[NodeId],
+        config: WaypointConfig,
+        rng: random.Random,
+    ) -> None:
+        self.sim = sim
+        self.radio = radio
+        self.config = config
+        self.rng = rng
+        self._motions: Dict[NodeId, _NodeMotion] = {}
+        self._subscribers: List[Callable[[NodeId, Position], None]] = []
+        self._running = False
+        for node in mobile_nodes:
+            position = radio.position(node)
+            self._motions[node] = _NodeMotion(
+                position=position,
+                target=self._draw_waypoint(),
+                speed=self._draw_speed(),
+            )
+
+    @property
+    def mobile_nodes(self) -> Tuple[NodeId, ...]:
+        """The nodes this model moves."""
+        return tuple(self._motions)
+
+    def subscribe(self, callback: Callable[[NodeId, Position], None]) -> None:
+        """Called after every position update with (node, new_position)."""
+        self._subscribers.append(callback)
+
+    def start(self) -> None:
+        """Begin stepping positions each ``step_interval`` seconds."""
+        if self._running:
+            return
+        self._running = True
+        self.sim.schedule(self.config.step_interval, self._step)
+
+    def stop(self) -> None:
+        """Freeze all nodes in place."""
+        self._running = False
+
+    def position(self, node: NodeId) -> Position:
+        """Current position of a mobile node."""
+        return self._motions[node].position
+
+    # ------------------------------------------------------------------
+    # Movement mechanics
+    # ------------------------------------------------------------------
+    def _step(self) -> None:
+        if not self._running:
+            return
+        now = self.sim.now
+        interval = self.config.step_interval
+        for node, motion in self._motions.items():
+            if now < motion.pause_until:
+                continue
+            x, y = motion.position
+            tx, ty = motion.target
+            dx, dy = tx - x, ty - y
+            remaining = math.hypot(dx, dy)
+            travel = motion.speed * interval
+            if travel >= remaining:
+                motion.position = motion.target
+                motion.target = self._draw_waypoint()
+                motion.speed = self._draw_speed()
+                motion.pause_until = now + self.config.pause_time
+            else:
+                motion.position = (x + dx / remaining * travel, y + dy / remaining * travel)
+            self.radio.set_position(node, motion.position)
+            for callback in self._subscribers:
+                callback(node, motion.position)
+        self.sim.schedule(interval, self._step)
+
+    def _draw_waypoint(self) -> Position:
+        side = self.config.field_side
+        return (self.rng.uniform(0.0, side), self.rng.uniform(0.0, side))
+
+    def _draw_speed(self) -> float:
+        return self.rng.uniform(self.config.min_speed, self.config.max_speed)

@@ -1,0 +1,255 @@
+"""Shared broadcast medium with interference-based collisions.
+
+The channel delivers every transmission to every node inside the sender's
+transmit range — promiscuous reception is what makes local monitoring
+possible.  Losses arise from three mechanisms, all of which the paper's
+simulation "accounts for" as natural collisions:
+
+- **Overlap interference** — two receptions overlapping in time at the same
+  receiver destroy each other, unless the *capture effect* saves the
+  stronger one: a signal whose transmitter is at least ``capture_ratio``
+  times closer than the interferer is decoded anyway (standard
+  SIR-threshold capture under path loss).
+- **Half-duplex receivers** — a node transmitting during any part of a
+  reception misses it.
+- **Optional ambient loss** — an independent per-reception loss probability
+  for failure-injection experiments.
+
+The channel does not queue or defer; carrier sensing and backoff live in
+:mod:`repro.net.mac`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.net.packet import Frame, NodeId
+from repro.net.radio import UnitDiskRadio, distance
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceLog
+
+
+@dataclass
+class Reception:
+    """An in-flight reception at one receiver."""
+
+    receiver: NodeId
+    frame: Frame
+    start: float
+    end: float
+    distance: float = 0.0
+    collided: bool = False
+    lost: bool = False
+    tags: Dict[str, object] = field(default_factory=dict)
+
+
+class Channel:
+    """The wireless medium.
+
+    Parameters
+    ----------
+    sim, radio, rng, trace:
+        Simulation kernel, propagation model, RNG registry, and trace sink.
+    bandwidth_bps:
+        Channel bit rate (Table 2: 40 kbps).
+    ambient_loss:
+        Independent probability that an otherwise-successful reception is
+        lost (failure injection; 0 by default).
+    capture_ratio:
+        A reception survives an overlap when its transmitter is at least
+        this factor closer to the receiver than the interferer
+        (0 disables capture: every overlap kills both frames).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        radio: UnitDiskRadio,
+        rng: RngRegistry,
+        trace: Optional[TraceLog] = None,
+        bandwidth_bps: float = 40_000.0,
+        ambient_loss: float = 0.0,
+        capture_ratio: float = 1.1,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps!r}")
+        if not 0.0 <= ambient_loss < 1.0:
+            raise ValueError(f"ambient_loss must be in [0, 1), got {ambient_loss!r}")
+        if capture_ratio < 0:
+            raise ValueError(f"capture_ratio must be non-negative, got {capture_ratio!r}")
+        self._sim = sim
+        self._radio = radio
+        self._rng = rng.stream("channel")
+        self._trace = trace
+        self._bandwidth = float(bandwidth_bps)
+        self._ambient_loss = float(ambient_loss)
+        self._capture_ratio = float(capture_ratio)
+        self._in_flight: Dict[NodeId, List[Reception]] = {}
+        self._tx_until: Dict[NodeId, float] = {}
+        self._delivery_handlers: Dict[NodeId, Callable[[Frame], None]] = {}
+        self._stampers: Dict[NodeId, Callable[[Frame], Frame]] = {}
+        self._loss_handlers: Dict[NodeId, Callable[[float], None]] = {}
+        self._tx_observers: List[Callable[[NodeId, Frame, float], None]] = []
+        self._reception_observers: List[Callable[[Reception], None]] = []
+        self.transmissions = 0
+        self.collisions = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, node: NodeId, handler: Callable[[Frame], None]) -> None:
+        """Register the frame-delivery handler for ``node``."""
+        self._delivery_handlers[node] = handler
+
+    def set_frame_stamper(self, node: NodeId, stamper: Callable[[Frame], Frame]) -> None:
+        """Transform every frame ``node`` transmits, at the moment of
+        transmission (PHY-layer stamping — packet leashes use this to
+        attach the sender's location and the *actual* send time, after any
+        MAC queueing).  A node that re-sends someone else's frame without
+        a stamper of its own leaves the original stamp in place."""
+        self._stampers[node] = stamper
+
+    def attach_loss_handler(self, node: NodeId, handler: Callable[[float], None]) -> None:
+        """Notify ``node`` when it loses a reception (a real radio senses a
+        garbled frame via energy detection / CRC failure even though it
+        cannot decode it).  LITEWORP guards use this to withhold judgment
+        when their own observation was impaired."""
+        self._loss_handlers[node] = handler
+
+    def add_tx_observer(self, observer: Callable[[NodeId, Frame, float], None]) -> None:
+        """Observe every physical transmission (used by tests and metrics)."""
+        self._tx_observers.append(observer)
+
+    def add_reception_observer(self, observer: Callable[[Reception], None]) -> None:
+        """Observe every finished reception, decodable or not (the energy
+        meter charges radios for listening either way)."""
+        self._reception_observers.append(observer)
+
+    # ------------------------------------------------------------------
+    # Medium state
+    # ------------------------------------------------------------------
+    def duration_of(self, frame: Frame) -> float:
+        """Air time of a frame at the channel bit rate."""
+        return frame.size_bytes * 8.0 / self._bandwidth
+
+    def is_transmitting(self, node: NodeId) -> bool:
+        """Whether ``node`` is mid-transmission."""
+        return self._tx_until.get(node, 0.0) > self._sim.now
+
+    def is_busy(self, node: NodeId) -> bool:
+        """Carrier sense at ``node``: own transmission or any audible one."""
+        if self.is_transmitting(node):
+            return True
+        return bool(self._in_flight.get(node))
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def transmit(
+        self,
+        sender: NodeId,
+        frame: Frame,
+        tx_range: Optional[float] = None,
+        on_unicast_outcome: Optional[Callable[[bool], None]] = None,
+    ) -> float:
+        """Put a frame on the air from ``sender``.
+
+        Returns the transmission duration.  Collision bookkeeping happens
+        immediately; deliveries are scheduled at end of reception.
+
+        ``on_unicast_outcome`` — for frames with a link destination, called
+        once at end of transmission with whether that destination decoded
+        the frame.  This models the link-layer acknowledgment of the MAC
+        (the ACK itself is not simulated; it is short enough to ignore).
+        """
+        stamper = self._stampers.get(sender)
+        if stamper is not None:
+            frame = stamper(frame)
+        now = self._sim.now
+        duration = self.duration_of(frame)
+        end = now + duration
+        self.transmissions += 1
+        self._tx_until[sender] = max(self._tx_until.get(sender, 0.0), end)
+
+        # Half-duplex: transmitting kills the sender's own in-flight receptions.
+        for reception in self._in_flight.get(sender, ()):
+            if not reception.collided:
+                reception.collided = True
+                self.collisions += 1
+
+        for observer in self._tx_observers:
+            observer(sender, frame, now)
+
+        sender_pos = self._radio.position(sender)
+        destination_covered = False
+        for receiver in self._radio.coverage(sender, tx_range):
+            if receiver not in self._delivery_handlers:
+                continue
+            dist = distance(sender_pos, self._radio.position(receiver))
+            reception = Reception(
+                receiver=receiver, frame=frame, start=now, end=end, distance=dist
+            )
+            if self._tx_until.get(receiver, 0.0) > now:
+                # Receiver is itself transmitting: misses the frame.
+                reception.collided = True
+                self.collisions += 1
+            queue = self._in_flight.setdefault(receiver, [])
+            for other in queue:
+                self._resolve_overlap(reception, other)
+            if self._ambient_loss and self._rng.random() < self._ambient_loss:
+                reception.lost = True
+            if on_unicast_outcome is not None and receiver == frame.link_dst:
+                destination_covered = True
+                reception.tags["on_outcome"] = on_unicast_outcome
+            queue.append(reception)
+            self._sim.schedule(duration, self._finish_reception, reception)
+        if on_unicast_outcome is not None and not destination_covered:
+            # Destination out of range (or detached): the ACK never comes.
+            self._sim.schedule(duration, on_unicast_outcome, False)
+        return duration
+
+    def _resolve_overlap(self, new: Reception, other: Reception) -> None:
+        """Apply interference between two overlapping receptions at one
+        receiver, honoring the capture effect."""
+        ratio = self._capture_ratio
+        new_captures = ratio > 0 and new.distance * ratio <= other.distance
+        other_captures = ratio > 0 and other.distance * ratio <= new.distance
+        if not other_captures and not other.collided:
+            other.collided = True
+            self.collisions += 1
+        if not new_captures and not new.collided:
+            new.collided = True
+            self.collisions += 1
+
+    def _finish_reception(self, reception: Reception) -> None:
+        queue = self._in_flight.get(reception.receiver)
+        if queue is not None:
+            try:
+                queue.remove(reception)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        for observer in self._reception_observers:
+            observer(reception)
+        outcome = reception.tags.get("on_outcome")
+        if reception.collided or reception.lost:
+            if self._trace is not None:
+                self._trace.emit(
+                    self._sim.now,
+                    "rx_lost",
+                    receiver=reception.receiver,
+                    collided=reception.collided,
+                    **reception.frame.describe(),
+                )
+            loss_handler = self._loss_handlers.get(reception.receiver)
+            if loss_handler is not None:
+                loss_handler(self._sim.now)
+            if outcome is not None:
+                outcome(False)
+            return
+        handler = self._delivery_handlers.get(reception.receiver)
+        if handler is not None:
+            handler(reception.frame)
+        if outcome is not None:
+            outcome(True)

@@ -1,0 +1,105 @@
+"""Per-node energy accounting.
+
+The paper's case for LITEWORP is resource-constrained sensor nodes, so
+the repository can account for the resource that actually kills them:
+energy.  The model is the standard first-order radio model (Heinzelman et
+al.): transmitting costs electronics plus amplifier energy growing with
+range, receiving costs electronics only, and promiscuous overhearing — the
+price of local monitoring — costs the same as receiving.
+
+The meter taps the channel: every transmission charges the sender, every
+(attempted) reception charges the receiver, whether or not the frame was
+decodable or addressed to it.  This makes "what does local monitoring
+cost in Joules" a measurable question (see the energy benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.net.channel import Channel, Reception
+from repro.net.packet import Frame, NodeId
+
+
+@dataclass(frozen=True)
+class EnergyConfig:
+    """First-order radio energy parameters (typical mote-class values).
+
+    Attributes
+    ----------
+    electronics_j_per_bit:
+        Energy to run the TX/RX circuitry, per bit (50 nJ/bit).
+    amplifier_j_per_bit_m2:
+        TX amplifier energy per bit per square metre of range
+        (100 pJ/bit/m²) — the free-space d² model.
+    idle_w:
+        Idle listening power; charged per simulated second when a closing
+        report is produced.
+    """
+
+    electronics_j_per_bit: float = 50e-9
+    amplifier_j_per_bit_m2: float = 100e-12
+    idle_w: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.electronics_j_per_bit < 0 or self.amplifier_j_per_bit_m2 < 0:
+            raise ValueError("energy constants must be non-negative")
+        if self.idle_w < 0:
+            raise ValueError("idle_w must be non-negative")
+
+    def tx_energy(self, bits: int, tx_range: float) -> float:
+        """Energy to transmit ``bits`` to ``tx_range`` metres."""
+        return bits * (
+            self.electronics_j_per_bit + self.amplifier_j_per_bit_m2 * tx_range ** 2
+        )
+
+    def rx_energy(self, bits: int) -> float:
+        """Energy to receive (or overhear) ``bits``."""
+        return bits * self.electronics_j_per_bit
+
+
+class EnergyMeter:
+    """Charges nodes for every transmission and reception on a channel."""
+
+    def __init__(self, channel: Channel, radio, config: Optional[EnergyConfig] = None) -> None:
+        self.config = config or EnergyConfig()
+        self._radio = radio
+        self.tx_joules: Dict[NodeId, float] = {}
+        self.rx_joules: Dict[NodeId, float] = {}
+        channel.add_tx_observer(self._on_transmit)
+        channel.add_reception_observer(self._on_reception)
+
+    def _on_transmit(self, sender: NodeId, frame: Frame, _time: float) -> None:
+        bits = frame.size_bytes * 8
+        energy = self.config.tx_energy(bits, self._radio.tx_range(sender))
+        self.tx_joules[sender] = self.tx_joules.get(sender, 0.0) + energy
+
+    def _on_reception(self, reception: Reception) -> None:
+        bits = reception.frame.size_bytes * 8
+        energy = self.config.rx_energy(bits)
+        receiver = reception.receiver
+        self.rx_joules[receiver] = self.rx_joules.get(receiver, 0.0) + energy
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def consumed(self, node: NodeId) -> float:
+        """Total radio energy charged to ``node`` so far (J)."""
+        return self.tx_joules.get(node, 0.0) + self.rx_joules.get(node, 0.0)
+
+    def total(self) -> float:
+        """Network-wide radio energy (J)."""
+        return sum(self.tx_joules.values()) + sum(self.rx_joules.values())
+
+    def total_with_idle(self, duration: float, n_nodes: int) -> float:
+        """Network-wide energy including idle listening over ``duration``."""
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        return self.total() + self.config.idle_w * duration * n_nodes
+
+    def breakdown(self) -> Dict[str, float]:
+        """Aggregate (tx, rx, total) in Joules."""
+        tx = sum(self.tx_joules.values())
+        rx = sum(self.rx_joules.values())
+        return {"tx": tx, "rx": rx, "total": tx + rx}

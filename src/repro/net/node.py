@@ -1,0 +1,120 @@
+"""The per-node runtime container.
+
+A :class:`Node` owns a MAC instance and dispatches every received frame
+through a two-stage pipeline:
+
+1. **Filters** — admission checks that may reject a frame before any
+   protocol logic sees it.  LITEWORP's legitimacy checks (non-neighbor
+   reject, second-hop check, revoked-node reject) are installed here.
+   A rejected frame is still *observable*: observers run on all frames.
+2. **Listeners** — protocol agents (routing, neighbor discovery, alerts).
+   Listeners receive accepted frames whether addressed to the node or
+   overheard; each listener decides what concerns it.
+
+**Observers** run on every frame before filtering — this is where the local
+monitor lives, because a guard must watch traffic it would itself discard.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.net.mac import CsmaMac
+from repro.net.packet import Frame, NodeId, Packet
+
+FrameFilter = Callable[[Frame], bool]
+FrameListener = Callable[[Frame], None]
+SendFilter = Callable[[Frame], bool]
+
+
+class Node:
+    """A network participant: id, position, MAC, and a protocol pipeline."""
+
+    def __init__(self, node_id: NodeId, position: Tuple[float, float], mac: CsmaMac) -> None:
+        self.node_id = node_id
+        self.position = position
+        self.mac = mac
+        self._filters: List[FrameFilter] = []
+        self._listeners: List[FrameListener] = []
+        self._observers: List[FrameListener] = []
+        self._send_filters: List[SendFilter] = []
+        self.frames_received = 0
+        self.frames_rejected = 0
+
+    # ------------------------------------------------------------------
+    # Pipeline wiring
+    # ------------------------------------------------------------------
+    def add_filter(self, frame_filter: FrameFilter) -> None:
+        """Admission check: return False to reject the frame."""
+        self._filters.append(frame_filter)
+
+    def add_listener(self, listener: FrameListener) -> None:
+        """Protocol handler invoked for every accepted frame."""
+        self._listeners.append(listener)
+
+    def add_observer(self, observer: FrameListener) -> None:
+        """Promiscuous tap invoked for every frame, even rejected ones."""
+        self._observers.append(observer)
+
+    def add_send_filter(self, send_filter: SendFilter) -> None:
+        """Outbound check: return False to suppress a transmission
+        (LITEWORP refuses to send to revoked nodes)."""
+        self._send_filters.append(send_filter)
+
+    # ------------------------------------------------------------------
+    # Receive path (channel delivery handler)
+    # ------------------------------------------------------------------
+    def deliver(self, frame: Frame) -> None:
+        """Entry point registered with the channel."""
+        self.frames_received += 1
+        for observer in self._observers:
+            observer(frame)
+        for frame_filter in self._filters:
+            if not frame_filter(frame):
+                self.frames_rejected += 1
+                return
+        for listener in self._listeners:
+            listener(frame)
+
+    # ------------------------------------------------------------------
+    # Send path
+    # ------------------------------------------------------------------
+    def broadcast(
+        self,
+        packet: Packet,
+        prev_hop: Optional[NodeId] = None,
+        jitter: Optional[float] = None,
+        tx_range: Optional[float] = None,
+    ) -> bool:
+        """Broadcast ``packet``; returns False if a send filter vetoed it."""
+        frame = Frame(packet=packet, transmitter=self.node_id, link_dst=None, prev_hop=prev_hop)
+        return self._submit(frame, jitter, tx_range)
+
+    def unicast(
+        self,
+        packet: Packet,
+        next_hop: NodeId,
+        prev_hop: Optional[NodeId] = None,
+        jitter: Optional[float] = None,
+        tx_range: Optional[float] = None,
+    ) -> bool:
+        """Send ``packet`` to ``next_hop``; still overheard by all in range."""
+        frame = Frame(
+            packet=packet, transmitter=self.node_id, link_dst=next_hop, prev_hop=prev_hop
+        )
+        return self._submit(frame, jitter, tx_range)
+
+    def raw_send(self, frame: Frame, jitter: Optional[float] = None, tx_range: Optional[float] = None) -> bool:
+        """Transmit an arbitrary pre-built frame (attack code uses this to
+        spoof headers); send filters still apply on the *local* node."""
+        return self._submit(frame, jitter, tx_range)
+
+    def _submit(self, frame: Frame, jitter: Optional[float], tx_range: Optional[float]) -> bool:
+        for send_filter in self._send_filters:
+            if not send_filter(frame):
+                return False
+        self.mac.send(frame, jitter=jitter, tx_range=tx_range)
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.node_id} @ ({self.position[0]:.1f}, {self.position[1]:.1f})>"

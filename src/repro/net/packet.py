@@ -1,0 +1,302 @@
+"""Packet and frame definitions.
+
+Every protocol message is a :class:`Packet` subclass; every on-air
+transmission wraps one packet in a :class:`Frame` that adds the link-layer
+header.  Two design points matter for LITEWORP:
+
+- ``Frame.prev_hop`` is the *announced previous hop*: the node the
+  transmitter claims to have received the packet from.  Honest forwarders
+  announce truthfully; wormhole nodes fabricate it (paper figure 4).
+- ``Packet.key()`` identifies the *same logical packet* across hops — e.g. a
+  route request keeps the key ``("REQ", origin, request_id)`` at every
+  forwarder — which is what guards use to correlate watch-buffer entries
+  with later forwards.
+
+Sizes are in bytes and drive transmission durations on the 40 kbps channel
+from the paper's Table 2.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+NodeId = int
+
+_packet_uids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Packet:
+    """Base class for all protocol messages.
+
+    ``uid`` identifies a concrete Python object lineage (useful in traces);
+    :meth:`key` identifies the logical packet across hops.
+    """
+
+    uid: int = field(default_factory=lambda: next(_packet_uids), init=False, compare=False)
+
+    def key(self) -> Tuple[Any, ...]:
+        """Logical identity of the packet, stable across forwarding hops."""
+        raise NotImplementedError
+
+    @property
+    def size_bytes(self) -> int:
+        """On-air size, used for transmission-duration computation."""
+        raise NotImplementedError
+
+    @property
+    def is_control(self) -> bool:
+        """Whether LITEWORP treats this as control traffic (watched by guards)."""
+        return True
+
+    @property
+    def monitored(self) -> bool:
+        """Whether guards watch this packet type for fabrication/drops.
+        Routed control packets (route requests/replies, beacons) are;
+        one-hop protocol messages (HELLO, alerts, ...) are not."""
+        return False
+
+
+@dataclass(frozen=True)
+class HelloPacket(Packet):
+    """One-hop broadcast announcing a freshly deployed node (paper 4.2.1)."""
+
+    sender: NodeId = 0
+
+    def key(self) -> Tuple[Any, ...]:
+        return ("HELLO", self.sender)
+
+    @property
+    def size_bytes(self) -> int:
+        return 16
+
+
+@dataclass(frozen=True)
+class HelloReplyPacket(Packet):
+    """Authenticated reply to a HELLO, addressed to the announcer."""
+
+    sender: NodeId = 0
+    announcer: NodeId = 0
+    auth: bytes = b""
+
+    def key(self) -> Tuple[Any, ...]:
+        return ("HELLO_REPLY", self.sender, self.announcer)
+
+    @property
+    def size_bytes(self) -> int:
+        return 24
+
+
+@dataclass(frozen=True)
+class NeighborListPacket(Packet):
+    """Broadcast of a node's direct-neighbor list ``R_A``.
+
+    ``auths`` maps each neighbor id to the MAC computed with the pairwise
+    key shared with that neighbor, so each recipient can verify the list
+    individually (paper 4.2.1).
+    """
+
+    sender: NodeId = 0
+    neighbors: Tuple[NodeId, ...] = ()
+    auths: Tuple[Tuple[NodeId, bytes], ...] = ()
+
+    def key(self) -> Tuple[Any, ...]:
+        return ("NLIST", self.sender)
+
+    @property
+    def size_bytes(self) -> int:
+        return 8 + 4 * len(self.neighbors) + 8 * len(self.auths)
+
+    def auth_for(self, neighbor: NodeId) -> Optional[bytes]:
+        """The authentication tag destined for ``neighbor``, if present."""
+        for node, tag in self.auths:
+            if node == neighbor:
+                return tag
+        return None
+
+
+@dataclass(frozen=True)
+class RouteRequest(Packet):
+    """Flooded on-demand route request (REQ).
+
+    ``hop_count`` is the number of hops the request has traversed; wormhole
+    ends forward it without incrementing to appear close to the origin.
+    """
+
+    origin: NodeId = 0
+    request_id: int = 0
+    target: NodeId = 0
+    hop_count: int = 0
+    path: Tuple[NodeId, ...] = ()
+
+    def key(self) -> Tuple[Any, ...]:
+        return ("REQ", self.origin, self.request_id)
+
+    @property
+    def size_bytes(self) -> int:
+        return 32
+
+    @property
+    def monitored(self) -> bool:
+        return True
+
+    def forwarded_by(self, node: NodeId) -> "RouteRequest":
+        """Copy of the request as rebroadcast by ``node`` (one more hop)."""
+        return RouteRequest(
+            origin=self.origin,
+            request_id=self.request_id,
+            target=self.target,
+            hop_count=self.hop_count + 1,
+            path=self.path + (node,),
+        )
+
+
+@dataclass(frozen=True)
+class RouteReply(Packet):
+    """Route reply (REP), unicast hop-by-hop back toward the origin.
+
+    ``path`` records the nodes the corresponding request traversed (origin
+    first); it is carried for bookkeeping and malicious-route metrics, the
+    forwarding itself follows reverse pointers.
+    """
+
+    origin: NodeId = 0
+    request_id: int = 0
+    target: NodeId = 0
+    hop_count: int = 0
+    path: Tuple[NodeId, ...] = ()
+
+    def key(self) -> Tuple[Any, ...]:
+        return ("REP", self.origin, self.request_id)
+
+    @property
+    def size_bytes(self) -> int:
+        return 32 + 4 * len(self.path)
+
+    @property
+    def monitored(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class DataPacket(Packet):
+    """Application data, forwarded along an established route."""
+
+    origin: NodeId = 0
+    destination: NodeId = 0
+    flow_id: int = 0
+    sequence: int = 0
+    payload_size: int = 64
+
+    def key(self) -> Tuple[Any, ...]:
+        return ("DATA", self.origin, self.flow_id, self.sequence)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.payload_size
+
+    @property
+    def is_control(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class RouteErrorPacket(Packet):
+    """Broadcast by a node that *cannot* forward a packet it was handed
+    (no reverse pointer, or the next hop has been revoked).
+
+    Guards clear the corresponding watch-buffer entry when they hear it, so
+    a legitimate inability to forward is not mistaken for a malicious drop.
+    A malicious node could of course abuse this to dodge drop accusations —
+    but the paper already notes a smart wormhole can dodge them by
+    forwarding a copy over the slow route; fabrication remains the primary
+    detection signal.
+    """
+
+    reporter: NodeId = 0
+    inner_key: Tuple[Any, ...] = ()
+
+    def key(self) -> Tuple[Any, ...]:
+        return ("RERR", self.reporter) + self.inner_key
+
+    @property
+    def size_bytes(self) -> int:
+        return 24
+
+
+@dataclass(frozen=True)
+class AlertPacket(Packet):
+    """Authenticated accusation sent by a guard to a neighbor of the accused.
+
+    ``relay_via`` supports the one-relay delivery used when the guard and
+    the recipient are two hops apart (both being neighbors of the accused
+    guarantees a common neighbor exists in the usual case).
+    """
+
+    guard: NodeId = 0
+    accused: NodeId = 0
+    recipient: NodeId = 0
+    auth: bytes = b""
+    relay_via: Optional[NodeId] = None
+
+    def key(self) -> Tuple[Any, ...]:
+        return ("ALERT", self.guard, self.accused, self.recipient)
+
+    @property
+    def size_bytes(self) -> int:
+        return 24
+
+
+@dataclass(frozen=True)
+class Frame:
+    """Link-layer transmission unit.
+
+    Attributes
+    ----------
+    transmitter:
+        The link-layer source *as claimed in the header*.  Honest nodes put
+        their own id; a packet-relay attacker retransmits frames preserving
+        the original header, which is exactly what makes two distant nodes
+        believe they are neighbors.
+    link_dst:
+        ``None`` for broadcast, else the intended next hop.  All in-range
+        nodes still receive the frame (promiscuous overhearing is what
+        enables local monitoring).
+    prev_hop:
+        Announced previous hop — ``None`` when the transmitter originated
+        the packet.
+    leash:
+        Optional packet leash (baseline defense, see
+        :mod:`repro.baselines.leashes`): authenticated sender location and
+        send time, stamped at the radio at transmission.  Carried opaquely
+        here; anything with a ``size_bytes`` attribute counts toward the
+        frame's air time.
+    """
+
+    packet: Packet
+    transmitter: NodeId
+    link_dst: Optional[NodeId] = None
+    prev_hop: Optional[NodeId] = None
+    leash: Optional[Any] = None
+
+    @property
+    def is_broadcast(self) -> bool:
+        """Whether the frame has no specific link-layer destination."""
+        return self.link_dst is None
+
+    @property
+    def size_bytes(self) -> int:
+        """Packet size plus a fixed 12-byte link header (plus any leash)."""
+        extra = getattr(self.leash, "size_bytes", 0) if self.leash is not None else 0
+        return self.packet.size_bytes + 12 + extra
+
+    def describe(self) -> Dict[str, Any]:
+        """Compact dict for traces."""
+        return {
+            "packet": self.packet.key(),
+            "tx": self.transmitter,
+            "dst": self.link_dst,
+            "prev": self.prev_hop,
+        }

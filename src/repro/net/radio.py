@@ -1,0 +1,122 @@
+"""Unit-disk radio propagation model.
+
+The paper's analysis and ns-2 setup both use a fixed communication range
+(r = 30 m, Table 2) with symmetric bi-directional links.  We model exactly
+that: node B hears node A iff their distance is at most A's transmit range.
+Per-node range overrides support the high-power-transmission wormhole mode
+(section 3.3), which breaks symmetry on purpose — the defense's symmetric-
+channel assumption is what detects it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Tuple
+
+NodeId = int
+Position = Tuple[float, float]
+
+
+def distance(a: Position, b: Position) -> float:
+    """Euclidean distance between two positions."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+class UnitDiskRadio:
+    """Deterministic disk propagation with per-node transmit ranges.
+
+    Parameters
+    ----------
+    positions:
+        Mapping node id -> (x, y) in metres.
+    default_range:
+        Communication range r applied to every node unless overridden.
+    """
+
+    def __init__(self, positions: Dict[NodeId, Position], default_range: float = 30.0) -> None:
+        if default_range <= 0:
+            raise ValueError(f"range must be positive, got {default_range!r}")
+        self._positions = dict(positions)
+        self._default_range = float(default_range)
+        self._range_overrides: Dict[NodeId, float] = {}
+        self._coverage_cache: Dict[Tuple[NodeId, float], Tuple[NodeId, ...]] = {}
+
+    @property
+    def default_range(self) -> float:
+        """The network-wide communication range r."""
+        return self._default_range
+
+    @property
+    def node_ids(self) -> List[NodeId]:
+        """All node ids known to the radio."""
+        return list(self._positions)
+
+    def position(self, node: NodeId) -> Position:
+        """Position of ``node``."""
+        return self._positions[node]
+
+    def set_position(self, node: NodeId, position: Position) -> None:
+        """Move a node (mobility extension); invalidates the coverage cache."""
+        self._positions[node] = position
+        self._coverage_cache.clear()
+
+    def tx_range(self, node: NodeId) -> float:
+        """Effective transmit range of ``node`` (override or default)."""
+        return self._range_overrides.get(node, self._default_range)
+
+    def set_tx_range(self, node: NodeId, tx_range: float) -> None:
+        """Give ``node`` a non-default transmit range (high-power attacker)."""
+        if tx_range <= 0:
+            raise ValueError(f"range must be positive, got {tx_range!r}")
+        self._range_overrides[node] = float(tx_range)
+
+    def coverage(self, sender: NodeId, tx_range: float | None = None) -> Tuple[NodeId, ...]:
+        """Node ids (excluding the sender) within the sender's transmit range.
+
+        Cached per ``(sender, range)`` because the network is static; a
+        position update clears the cache.
+        """
+        if tx_range is None:
+            tx_range = self.tx_range(sender)
+        cache_key = (sender, tx_range)
+        cached = self._coverage_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        origin = self._positions[sender]
+        covered = tuple(
+            node
+            for node, pos in self._positions.items()
+            if node != sender and distance(origin, pos) <= tx_range
+        )
+        self._coverage_cache[cache_key] = covered
+        return covered
+
+    def neighbors(self, node: NodeId) -> Tuple[NodeId, ...]:
+        """Symmetric neighbors at the *default* range.
+
+        This is the ground-truth neighbor relation used by the topology
+        oracle and by legitimacy checks in tests.  Note it deliberately
+        ignores range overrides: a high-power attacker can reach farther,
+        but far nodes are not its legitimate neighbors.
+        """
+        return self.coverage(node, self._default_range)
+
+    def are_neighbors(self, a: NodeId, b: NodeId) -> bool:
+        """Whether a and b are within the default range of each other."""
+        return distance(self._positions[a], self._positions[b]) <= self._default_range
+
+    def common_neighbors(self, a: NodeId, b: NodeId) -> Tuple[NodeId, ...]:
+        """Nodes within default range of both a and b — guard candidates."""
+        near_a = set(self.neighbors(a))
+        return tuple(n for n in self.neighbors(b) if n in near_a)
+
+    def audible_from(self, receiver: NodeId, senders: Iterable[NodeId]) -> List[NodeId]:
+        """Subset of ``senders`` whose transmissions reach ``receiver``."""
+        rx_pos = self._positions[receiver]
+        result = []
+        for sender in senders:
+            if sender == receiver:
+                continue
+            if distance(self._positions[sender], rx_pos) <= self.tx_range(sender):
+                result.append(sender)
+        return result

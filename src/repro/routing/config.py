@@ -1,0 +1,65 @@
+"""Routing parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RoutingConfig:
+    """Tunables of the on-demand routing protocol.
+
+    Attributes
+    ----------
+    metric:
+        ``"shortest"`` — the destination collects request copies for
+        ``reply_window`` seconds after the first and answers the one with
+        the fewest hops (ties to the earliest).  ``"first"`` — it answers
+        the first copy immediately (ARAN-style fastest route).
+    reply_window:
+        Collection window at the destination for the ``"shortest"`` metric.
+    route_timeout:
+        ``TOut_Route`` from Table 2 — cached routes are evicted after this
+        many seconds.
+    request_timeout:
+        How long the origin waits for a reply before retrying discovery.
+    max_retries:
+        Discovery attempts per destination before queued data is dropped.
+    queue_capacity:
+        Data packets buffered per destination while discovery runs.
+    forward_jitter:
+        Upper bound of the uniform delay applied before rebroadcasting a
+        request (MAC-collision avoidance; the rushing attacker sets 0).
+    suppression_threshold:
+        Counter-based broadcast suppression: a node cancels its own
+        rebroadcast when it has already overheard this many copies of the
+        request during its jitter window (its copy would add no
+        reachability).  ``0`` disables suppression.
+    """
+
+    metric: str = "shortest"
+    reply_window: float = 0.6
+    route_timeout: float = 50.0
+    request_timeout: float = 5.0
+    max_retries: int = 3
+    queue_capacity: int = 20
+    forward_jitter: float = 0.25
+    suppression_threshold: int = 2
+
+    def __post_init__(self) -> None:
+        if self.metric not in ("shortest", "first"):
+            raise ValueError(f"unknown metric {self.metric!r}")
+        if self.reply_window < 0:
+            raise ValueError("reply_window must be non-negative")
+        if self.route_timeout <= 0:
+            raise ValueError("route_timeout must be positive")
+        if self.request_timeout <= 0:
+            raise ValueError("request_timeout must be positive")
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be at least 1")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be at least 1")
+        if self.forward_jitter < 0:
+            raise ValueError("forward_jitter must be non-negative")
+        if self.suppression_threshold < 0:
+            raise ValueError("suppression_threshold must be non-negative")

@@ -1,0 +1,219 @@
+"""The discrete-event simulation kernel.
+
+The kernel is a classic calendar-queue scheduler: a binary heap of
+``(time, sequence, Event)`` triples and a virtual clock.  All protocol code
+in this repository is written against :class:`Simulator` — there are no
+threads, no wall-clock timing, and no global state, which makes every
+experiment deterministic given a seed.
+
+Design notes
+------------
+- Events fire in non-decreasing time order; ties are broken by scheduling
+  order (FIFO), which keeps protocol traces reproducible.
+- Cancellation is O(1): a cancelled event stays in the heap but is skipped
+  when popped.
+- ``Simulator.run`` takes an ``until`` horizon; events scheduled exactly at
+  the horizon still fire (closed interval), matching ns-2 semantics.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for scheduler misuse (negative delays, running twice, ...)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are produced by :meth:`Simulator.schedule` / ``schedule_at``
+    and should not be constructed directly.  An event can be cancelled at
+    any point before it fires; cancelling a fired or already-cancelled
+    event is a harmless no-op, which simplifies timer management in the
+    protocol code.
+    """
+
+    __slots__ = ("time", "callback", "args", "kwargs", "_cancelled", "_fired")
+
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...],
+        kwargs: dict,
+    ) -> None:
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.kwargs = kwargs
+        self._cancelled = False
+        self._fired = False
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` was called before the event fired."""
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        """Whether the event's callback has run."""
+        return self._fired
+
+    @property
+    def pending(self) -> bool:
+        """Whether the event is still waiting to fire."""
+        return not (self._cancelled or self._fired)
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        if not self._fired:
+            self._cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else ("fired" if self._fired else "pending")
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"<Event t={self.time:.6f} {name} [{state}]>"
+
+
+class Simulator:
+    """Deterministic discrete-event scheduler.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the virtual clock (seconds).  Defaults to 0.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, fired.append, "a")
+    >>> _ = sim.schedule(0.5, fired.append, "b")
+    >>> sim.run(until=2.0)
+    >>> fired
+    ['b', 'a']
+    >>> sim.now
+    2.0
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._sequence = itertools.count()
+        self._running = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of callbacks executed so far (monitoring hook)."""
+        return self._events_processed
+
+    @property
+    def pending_count(self) -> int:
+        """Number of not-yet-fired, not-cancelled events in the queue."""
+        return sum(1 for _, _, ev in self._heap if ev.pending)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self, delay: float, callback: Callable[..., Any], *args: Any, **kwargs: Any
+    ) -> Event:
+        """Schedule ``callback(*args, **kwargs)`` to run ``delay`` seconds from now.
+
+        Raises :class:`SimulationError` for negative or non-finite delays.
+        """
+        if not math.isfinite(delay):
+            raise SimulationError(f"delay must be finite, got {delay!r}")
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay!r}")
+        return self.schedule_at(self._now + delay, callback, *args, **kwargs)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., Any], *args: Any, **kwargs: Any
+    ) -> Event:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        if not math.isfinite(time):
+            raise SimulationError(f"event time must be finite, got {time!r}")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: t={time!r} < now={self._now!r}"
+            )
+        event = Event(time, callback, args, kwargs)
+        heapq.heappush(self._heap, (time, next(self._sequence), event))
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events in time order.
+
+        Parameters
+        ----------
+        until:
+            Horizon (inclusive).  When given, the clock is advanced to
+            exactly ``until`` after the last event at or before it fires.
+            When omitted, runs until the queue drains.
+        max_events:
+            Safety valve: stop after this many callbacks.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        if until is not None and until < self._now:
+            raise SimulationError(f"until={until!r} is in the past (now={self._now!r})")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                time, _, event = self._heap[0]
+                if until is not None and time > until:
+                    break
+                heapq.heappop(self._heap)
+                if not event.pending:
+                    continue
+                self._now = time
+                event._fired = True
+                event.callback(*event.args, **event.kwargs)
+                self._events_processed += 1
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Run exactly one pending event.  Returns False if the queue is empty."""
+        while self._heap:
+            time, _, event = heapq.heappop(self._heap)
+            if not event.pending:
+                continue
+            self._now = time
+            event._fired = True
+            event.callback(*event.args, **event.kwargs)
+            self._events_processed += 1
+            return True
+        return False
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or None if the queue is empty."""
+        while self._heap and not self._heap[0][2].pending:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0][0]
+        return None

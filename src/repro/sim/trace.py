@@ -1,0 +1,86 @@
+"""Structured trace log.
+
+The experiment harness and many integration tests assert on *what happened*
+rather than on return values — which node detected which attacker, when a
+route through a wormhole was established, when a packet was dropped.  The
+trace log is the single sink for those facts: protocol code emits
+``TraceRecord``s, and consumers filter by kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace fact: a timestamp, a kind tag, and free-form fields."""
+
+    time: float
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Field accessor with a default, mirroring ``dict.get``."""
+        return self.fields.get(key, default)
+
+
+class TraceLog:
+    """Append-only log of :class:`TraceRecord` with filtered retrieval.
+
+    Subscribers may register live callbacks per kind (the metric collectors
+    do this) so that experiments do not need to re-scan the log.
+    """
+
+    def __init__(self) -> None:
+        self._records: List[TraceRecord] = []
+        self._subscribers: Dict[str, List[Callable[[TraceRecord], None]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def emit(self, time: float, kind: str, **fields: Any) -> TraceRecord:
+        """Record a fact and notify subscribers for ``kind``."""
+        record = TraceRecord(time=time, kind=kind, fields=fields)
+        self._records.append(record)
+        for callback in self._subscribers.get(kind, ()):
+            callback(record)
+        return record
+
+    def subscribe(self, kind: str, callback: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``callback`` for every future record of ``kind``."""
+        self._subscribers.setdefault(kind, []).append(callback)
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        """All records with the given kind, in emission order."""
+        return [r for r in self._records if r.kind == kind]
+
+    def first(self, kind: str, **match: Any) -> Optional[TraceRecord]:
+        """First record of ``kind`` whose fields include all of ``match``."""
+        for record in self._records:
+            if record.kind != kind:
+                continue
+            if all(record.fields.get(k) == v for k, v in match.items()):
+                return record
+        return None
+
+    def count(self, kind: str, **match: Any) -> int:
+        """Number of records of ``kind`` whose fields include ``match``."""
+        total = 0
+        for record in self._records:
+            if record.kind != kind:
+                continue
+            if all(record.fields.get(k) == v for k, v in match.items()):
+                total += 1
+        return total
+
+    def clear(self) -> None:
+        """Drop all stored records (subscribers are kept)."""
+        self._records.clear()

@@ -1,0 +1,11 @@
+"""Traffic generation (paper section 6).
+
+"Each node acts as a data source and generates data using an exponential
+random distribution with inter-arrival rate of λ.  The destination is
+chosen at random and is changed using an exponential random distribution
+with rate μ."
+"""
+
+from repro.traffic.generator import TrafficConfig, TrafficGenerator
+
+__all__ = ["TrafficConfig", "TrafficGenerator"]

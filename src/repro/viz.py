@@ -1,0 +1,103 @@
+"""ASCII field rendering.
+
+Terminal-friendly pictures of a deployment: node positions on a character
+grid, malicious nodes highlighted, revocation status, and wormhole links.
+Used by examples and handy in a REPL; kept dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.net.packet import NodeId
+
+Position = Tuple[float, float]
+
+
+def render_field(
+    positions: Dict[NodeId, Position],
+    width: int = 60,
+    height: int = 24,
+    malicious: Iterable[NodeId] = (),
+    isolated: Iterable[NodeId] = (),
+    highlight: Iterable[NodeId] = (),
+) -> str:
+    """Render node positions on a ``width`` x ``height`` character canvas.
+
+    Symbols: ``.`` honest node, ``W`` malicious (wormhole) node, ``X``
+    malicious and fully isolated, ``*`` highlighted (e.g. the sink).
+    Collisions on a cell keep the most severe symbol.
+    """
+    if not positions:
+        return "(empty field)"
+    if width < 2 or height < 2:
+        raise ValueError("canvas must be at least 2x2")
+    xs = [p[0] for p in positions.values()]
+    ys = [p[1] for p in positions.values()]
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    span_x = max(max_x - min_x, 1e-9)
+    span_y = max(max_y - min_y, 1e-9)
+
+    severity = {".": 0, "*": 1, "W": 2, "X": 3}
+    canvas = [[" " for _ in range(width)] for _ in range(height)]
+    malicious = set(malicious)
+    isolated = set(isolated)
+    highlight = set(highlight)
+
+    for node, (x, y) in positions.items():
+        col = int((x - min_x) / span_x * (width - 1))
+        row = int((y - min_y) / span_y * (height - 1))
+        if node in malicious:
+            symbol = "X" if node in isolated else "W"
+        elif node in highlight:
+            symbol = "*"
+        else:
+            symbol = "."
+        current = canvas[row][col]
+        if current == " " or severity[symbol] > severity.get(current, -1):
+            canvas[row][col] = symbol
+
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in canvas)
+    return f"{border}\n{body}\n{border}"
+
+
+def render_scenario(scenario, show_isolation: bool = True) -> str:
+    """Render a built scenario: malicious nodes, isolation state, legend."""
+    isolated = []
+    if show_isolation:
+        for malicious in scenario.malicious_ids:
+            agents = scenario.agents.values()
+            revokers = sum(1 for agent in agents if agent.has_isolated(malicious))
+            honest_neighbors = [
+                n for n in scenario.network.neighbors(malicious)
+                if n not in set(scenario.malicious_ids)
+            ]
+            if honest_neighbors and revokers >= len(
+                [n for n in honest_neighbors if n in scenario.agents]
+            ):
+                isolated.append(malicious)
+    field = render_field(
+        scenario.topology.positions,
+        malicious=scenario.malicious_ids,
+        isolated=isolated,
+    )
+    legend = ". honest   W wormhole node   X wormhole node (fully isolated)"
+    return f"{field}\n{legend}"
+
+
+def render_timeseries(
+    values: Sequence[float],
+    width: int = 50,
+    label: str = "",
+) -> str:
+    """A one-line-per-sample horizontal bar chart."""
+    if not values:
+        return "(no data)"
+    peak = max(values) or 1.0
+    lines = []
+    for index, value in enumerate(values):
+        bar = "#" * int(round(value / peak * width))
+        lines.append(f"{label}{index:4d} {value:10.2f} {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Tests for tree aggregation and its corruption by the wormhole."""
+
+import pytest
+
+from repro.aggregation.tree import (
+    COUNT,
+    MAX,
+    SUM,
+    AggregationConfig,
+    TreeAggregation,
+)
+from repro.net.topology import grid_topology
+from repro.routing.beacon import BeaconConfig, BeaconTreeRouting, WormholeBeaconRouting
+from tests.conftest import Harness
+
+SINK = 0
+
+
+def build(columns=5, rows=1, kind=SUM, wormhole=(), spacing=25.0):
+    harness = Harness(grid_topology(columns=columns, rows=rows, spacing=spacing,
+                                    tx_range=30.0))
+    beacon_config = BeaconConfig(beacon_interval=5.0)
+    agg_config = AggregationConfig(kind=kind, epoch_interval=10.0, depth_slot=0.3,
+                                   max_depth=12)
+    trees = {}
+    aggs = {}
+    wormhole_agents = []
+    for node_id in harness.topology.node_ids:
+        node = harness.node(node_id)
+        rng = harness.rng.stream(f"b:{node_id}")
+        if node_id in wormhole:
+            tree = WormholeBeaconRouting(
+                harness.sim, node, beacon_config, harness.trace, rng, SINK,
+                network=harness.network,
+            )
+            wormhole_agents.append(tree)
+        else:
+            tree = BeaconTreeRouting(harness.sim, node, beacon_config,
+                                     harness.trace, rng, SINK)
+        trees[node_id] = tree
+        # Pre-activation, a compromised node aggregates honestly like
+        # everyone else; the wormhole test stops its agent on activation
+        # (it then swallows its children's partials).
+        agg = TreeAggregation(
+            harness.sim, tree, agg_config, harness.trace,
+            reading_fn=lambda node, epoch: float(node),
+        )
+        agg.start()
+        aggs[node_id] = agg
+    if len(wormhole_agents) == 2:
+        wormhole_agents[0].pair_with(wormhole_agents[1])
+    trees[SINK].start()
+    return harness, trees, aggs, wormhole_agents
+
+
+def last_result(harness):
+    results = harness.trace.of_kind("aggregate_result")
+    return results[-1] if results else None
+
+
+def test_sum_aggregates_whole_line():
+    harness, trees, aggs, _ = build(columns=5, kind=SUM)
+    harness.run(35.0)
+    result = last_result(harness)
+    assert result is not None
+    # Nodes 1..4 contribute their ids: 1+2+3+4 = 10, count 4.
+    assert result["value"] == pytest.approx(10.0)
+    assert result["count"] == 4
+
+
+def test_max_aggregation():
+    harness, trees, aggs, _ = build(columns=5, kind=MAX)
+    harness.run(35.0)
+    result = last_result(harness)
+    assert result is not None
+    assert result["value"] == pytest.approx(4.0)
+
+
+def test_count_aggregation():
+    harness, trees, aggs, _ = build(columns=6, kind=COUNT)
+    harness.run(35.0)
+    result = last_result(harness)
+    assert result is not None
+    assert result["value"] == pytest.approx(5.0)  # everyone but the sink
+
+
+def test_unattached_node_skips_epoch():
+    harness, trees, aggs, _ = build(columns=3)
+    # Stop beacons before any epoch: node depths stay None.
+    trees[SINK].stop()
+    harness.run(12.0)
+    # No partials without a tree; the sink still finalises with count 0.
+    result = last_result(harness)
+    if result is not None:
+        assert result["count"] == 0
+
+
+def test_aggregation_epochs_repeat():
+    harness, trees, aggs, _ = build(columns=3)
+    harness.run(45.0)
+    results = harness.trace.of_kind("aggregate_result")
+    assert len(results) >= 3
+    epochs = [r["epoch"] for r in results]
+    assert epochs == sorted(epochs)
+
+
+def test_wormhole_starves_the_aggregate():
+    """Far end captures distant nodes as children; their partials flow to
+    the wormhole and vanish, so the sink's count drops."""
+    harness, trees, aggs, wa = build(columns=10, kind=COUNT, wormhole=(1, 7))
+    harness.run(16.0)  # one clean epoch (finalised at ~13.9 s) first
+    clean = last_result(harness)
+    for agent in wa:
+        agent.activate()
+        aggs[agent.node.node_id].stop()  # swallow instead of reporting
+    harness.run(45.0)
+    corrupted = last_result(harness)
+    assert clean is not None and corrupted is not None
+    assert corrupted["count"] < clean["count"]
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        AggregationConfig(kind="median")
+    with pytest.raises(ValueError):
+        AggregationConfig(epoch_interval=0)
+    with pytest.raises(ValueError):
+        AggregationConfig(depth_slot=0)
+    with pytest.raises(ValueError):
+        AggregationConfig(max_depth=0)
+    with pytest.raises(ValueError):
+        AggregationConfig(epoch_interval=1.0, depth_slot=0.3, max_depth=12)

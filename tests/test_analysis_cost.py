@@ -1,0 +1,89 @@
+"""Unit tests for the section-5.2 cost model."""
+
+import math
+
+import pytest
+
+from repro.analysis.cost import CostModel
+
+
+def test_neighbor_list_under_half_kb_at_ten_neighbors():
+    """Paper: 'for an average of 10 neighbors per node, NBLS is less than
+    half a kilobyte'."""
+    model = CostModel(avg_neighbors=10.0)
+    assert model.neighbor_list_bytes() < 512
+
+
+def test_neighbor_list_scales_quadratically():
+    small = CostModel(avg_neighbors=5.0).neighbor_list_bytes()
+    large = CostModel(avg_neighbors=10.0).neighbor_list_bytes()
+    # Dominated by the second-hop term: roughly 4x for 2x neighbors.
+    assert 3.0 < large / small < 4.2
+
+
+def test_alert_buffer_size():
+    assert CostModel(theta=3).alert_buffer_bytes() == 12
+
+
+def test_density_from_neighbors():
+    model = CostModel(tx_range=30.0, avg_neighbors=10.0)
+    assert model.density == pytest.approx(10.0 / (math.pi * 900.0))
+
+
+def test_nodes_watching_per_reply_paper_example():
+    """Paper example: N=100, h=4, N_B such that N_REP ~= 17."""
+    # The paper uses its Table-2 density: with r=30 and d tuned so that
+    # 2 r^2 (h+1) d gives ~17 for their setup.  Verify our formula's form:
+    model = CostModel(n_nodes=100, tx_range=30.0, avg_neighbors=10.0, avg_route_hops=4.0)
+    expected = 2 * 900.0 * 5 * model.density
+    assert model.nodes_watching_per_reply() == pytest.approx(expected)
+    assert 10 < model.nodes_watching_per_reply() < 40
+
+
+def test_watch_buffer_small():
+    """Paper: 'a watch buffer size of 4 entries is more than enough'."""
+    model = CostModel(
+        n_nodes=100, avg_route_hops=4.0, route_frequency=0.25, watch_window=1.0
+    )
+    assert model.watch_buffer_entries() < 4
+
+
+def test_watch_buffer_includes_requests_when_asked():
+    base = CostModel(include_requests=False).watches_per_node_per_unit_time()
+    with_req = CostModel(include_requests=True).watches_per_node_per_unit_time()
+    assert with_req > base
+
+
+def test_total_memory_under_one_kb():
+    """The headline 'lightweight' claim: everything fits in ~1 KB."""
+    model = CostModel(avg_neighbors=10.0)
+    assert model.total_memory_bytes() < 1024
+
+
+def test_cpu_utilisation_fraction():
+    model = CostModel()
+    assert 0.0 < model.cpu_utilisation() < 1.0
+
+
+def test_report_rows_complete():
+    report = CostModel().report()
+    names = [name for name, _value, _unit in report.rows()]
+    assert "Neighbor lists (NBL)" in names
+    assert "Watch buffer provisioned" in names
+    assert "CPU utilisation" in names
+    assert len(names) == 8
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"n_nodes": 0},
+        {"tx_range": 0},
+        {"avg_neighbors": 0},
+        {"avg_route_hops": 0.5},
+        {"route_frequency": 0},
+    ],
+)
+def test_invalid_inputs(kwargs):
+    with pytest.raises(ValueError):
+        CostModel(**kwargs)

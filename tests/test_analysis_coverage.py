@@ -1,0 +1,241 @@
+"""Unit tests for the section-5.1 coverage analysis."""
+
+import math
+
+import pytest
+
+from repro.analysis.coverage import (
+    CoverageParams,
+    detection_probability,
+    detection_vs_neighbors,
+    detection_vs_theta,
+    expected_guards,
+    false_alarm_probability,
+    false_alarm_vs_neighbors,
+    guard_region_area,
+    guard_region_area_min,
+    mean_guard_region_area,
+    min_guards,
+    per_guard_alert_probability,
+    per_guard_false_alarm_probability,
+    theta_of_g,
+)
+
+
+# ----------------------------------------------------------------------
+# Geometry
+# ----------------------------------------------------------------------
+def test_lens_area_at_zero_distance_is_full_disk():
+    assert guard_region_area(0.0, 1.0) == pytest.approx(math.pi)
+
+
+def test_lens_area_at_two_r_is_zero():
+    assert guard_region_area(2.0, 1.0) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_lens_area_decreases_with_distance():
+    areas = [guard_region_area(x, 1.0) for x in (0.1, 0.5, 0.9, 1.0)]
+    assert areas == sorted(areas, reverse=True)
+
+
+def test_min_area_at_x_equals_r():
+    r = 30.0
+    # A(r) = r^2 (2 pi/3 - sqrt(3)/2)
+    expected = r * r * (2 * math.pi / 3 - math.sqrt(3) / 2)
+    assert guard_region_area_min(r) == pytest.approx(expected)
+
+
+def test_mean_area_scales_with_r_squared():
+    assert mean_guard_region_area(2.0) == pytest.approx(4 * mean_guard_region_area(1.0))
+
+
+def test_mean_area_between_min_and_full_disk():
+    r = 1.0
+    mean = mean_guard_region_area(r)
+    assert guard_region_area_min(r) < mean < math.pi * r * r
+
+
+def test_expected_guards_paper_constant():
+    assert expected_guards(10.0) == pytest.approx(5.1)
+
+
+def test_expected_guards_exact_close_to_paper():
+    # Quadrature constant is in the same ballpark as the paper's 0.51.
+    exact = expected_guards(10.0, exact=True)
+    assert 4.0 < exact < 7.0
+
+
+def test_min_guards_below_expected():
+    assert min_guards(10.0) < expected_guards(10.0, exact=True)
+
+
+def test_invalid_geometry_inputs():
+    with pytest.raises(ValueError):
+        guard_region_area(-1.0, 1.0)
+    with pytest.raises(ValueError):
+        guard_region_area(3.0, 1.0)
+    with pytest.raises(ValueError):
+        guard_region_area(1.0, 0.0)
+
+
+# ----------------------------------------------------------------------
+# Detection probability
+# ----------------------------------------------------------------------
+def test_per_guard_alert_no_collisions_is_certain():
+    assert per_guard_alert_probability(0.0, gamma=7, kappa=5) == pytest.approx(1.0)
+
+
+def test_per_guard_alert_all_collisions_is_zero():
+    assert per_guard_alert_probability(1.0, gamma=7, kappa=5) == pytest.approx(0.0)
+
+
+def test_per_guard_alert_monotone_in_collisions():
+    values = [per_guard_alert_probability(p, 7, 5) for p in (0.0, 0.2, 0.5, 0.8)]
+    assert values == sorted(values, reverse=True)
+
+
+def test_per_guard_alert_binomial_hand_check():
+    # gamma=2, kappa=2, p_c=0.5: P(see both) = 0.25.
+    assert per_guard_alert_probability(0.5, 2, 2) == pytest.approx(0.25)
+
+
+def test_theta_of_g_insufficient_guards():
+    assert theta_of_g(0.9, theta=3, guards=2) == 0.0
+
+
+def test_theta_of_g_hand_check():
+    # theta=1, g=2, p=0.5: 1 - 0.25 = 0.75.
+    assert theta_of_g(0.5, 1, 2) == pytest.approx(0.75)
+
+
+def test_detection_probability_increases_with_guards():
+    low = detection_probability(0.05, 7, 5, 3, guards=4)
+    high = detection_probability(0.05, 7, 5, 3, guards=10)
+    assert high > low
+
+
+def test_detection_probability_decreases_with_theta():
+    series = detection_vs_theta([2, 4, 6, 8], n_neighbors=15.0)
+    values = [p for _, p in series]
+    assert values == sorted(values, reverse=True)
+
+
+def test_fig6a_rises_then_falls():
+    """The paper's figure 6(a) shape: detection rises with density, peaks,
+    then collapses as the collision probability grows."""
+    neighbor_counts = list(range(4, 41, 2))
+    series = detection_vs_neighbors(neighbor_counts)
+    values = [p for _, p in series]
+    peak = max(values)
+    peak_index = values.index(peak)
+    assert peak > 0.9
+    assert 0 < peak_index < len(values) - 1
+    assert values[-1] < peak * 0.5  # collapses on the right
+    assert values[0] < peak  # rising segment exists on the left
+
+
+def test_invalid_probability_inputs():
+    with pytest.raises(ValueError):
+        per_guard_alert_probability(-0.1, 7, 5)
+    with pytest.raises(ValueError):
+        per_guard_alert_probability(1.1, 7, 5)
+    with pytest.raises(ValueError):
+        per_guard_alert_probability(0.1, 7, 8)  # kappa > gamma
+    with pytest.raises(ValueError):
+        per_guard_alert_probability(0.1, 0, 0)
+    with pytest.raises(ValueError):
+        theta_of_g(0.5, 0, 5)
+    with pytest.raises(ValueError):
+        theta_of_g(0.5, 1, -1)
+
+
+# ----------------------------------------------------------------------
+# False alarms
+# ----------------------------------------------------------------------
+def test_false_alarm_per_guard_small():
+    p = per_guard_false_alarm_probability(0.05, 7, 5)
+    assert p < 1e-5
+
+
+def test_false_alarm_squared_variant_smaller():
+    loose = per_guard_false_alarm_probability(0.2, 7, 5)
+    strict = per_guard_false_alarm_probability(0.2, 7, 5, squared=True)
+    assert strict < loose
+
+
+def test_false_alarm_network_negligible_at_paper_params():
+    """Paper: worst-case false alarm probability is negligible.  (The
+    scanned figure's axis scale is garbled; we assert 'negligible' as
+    below one percent across the whole density sweep, and far below that
+    at the paper's operating density.)"""
+    series = false_alarm_vs_neighbors(list(range(4, 41, 2)))
+    assert max(p for _, p in series) < 0.01
+    at_paper_density = dict(series)[8.0]
+    assert at_paper_density < 1e-4
+
+
+def test_false_alarm_non_monotonic_shape():
+    """Figure 6(b)'s non-monotonic shape: rises with guard count, then
+    falls as collisions mask both observations."""
+    series = false_alarm_vs_neighbors(list(range(4, 61, 2)))
+    values = [p for _, p in series]
+    peak_index = values.index(max(values))
+    assert 0 < peak_index < len(values) - 1
+    assert values[-1] < max(values)
+
+
+def test_false_alarm_zero_collisions_zero():
+    assert false_alarm_probability(0.0, 7, 5, 3, 10) == 0.0
+
+
+def test_coverage_params_collision_model():
+    params = CoverageParams(p_collision_base=0.05, n_neighbors_base=3.0)
+    assert params.p_collision(3.0) == pytest.approx(0.05)
+    assert params.p_collision(6.0) == pytest.approx(0.10)
+    assert params.p_collision(1000.0) <= 0.999
+
+
+def test_coverage_params_guard_count():
+    params = CoverageParams()
+    assert params.guards(10.0) == 5  # round(5.1)
+
+
+# ----------------------------------------------------------------------
+# Required density (inverse computation, paper 5.1)
+# ----------------------------------------------------------------------
+def test_density_for_detection_reaches_target():
+    from repro.analysis.coverage import CoverageParams, density_for_detection
+
+    params = CoverageParams(theta=3)
+    needed = density_for_detection(0.99, params)
+    assert needed is not None
+    achieved = detection_vs_neighbors([needed], params)[0][1]
+    assert achieved >= 0.99 - 1e-6
+
+
+def test_density_for_detection_monotone_in_theta():
+    from dataclasses import replace
+
+    from repro.analysis.coverage import CoverageParams, density_for_detection
+
+    base = CoverageParams()
+    easy = density_for_detection(0.95, replace(base, theta=2))
+    hard = density_for_detection(0.95, replace(base, theta=3))
+    assert easy is not None and hard is not None
+    assert hard > easy
+
+
+def test_density_for_detection_unreachable_returns_none():
+    from repro.analysis.coverage import CoverageParams, density_for_detection
+
+    params = CoverageParams(theta=8)  # eight guards must all alert: hopeless
+    assert density_for_detection(0.999, params) is None
+
+
+def test_density_for_detection_validates_inputs():
+    from repro.analysis.coverage import density_for_detection
+
+    with pytest.raises(ValueError):
+        density_for_detection(1.5)
+    with pytest.raises(ValueError):
+        density_for_detection(0.9, search_range=(5.0, 2.0))

@@ -1,0 +1,149 @@
+"""Integration tests for the tunnelled wormhole modes (out-of-band and
+encapsulation) through the full scenario stack."""
+
+import pytest
+
+from repro.experiments.scenario import ScenarioConfig, build_scenario
+
+
+def small(mode="outofband", liteworp=True, seed=5, duration=180.0, **kwargs):
+    return ScenarioConfig(
+        n_nodes=30,
+        duration=duration,
+        seed=seed,
+        attack_mode=mode,
+        attack_start=30.0,
+        liteworp_enabled=liteworp,
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def outofband_baseline():
+    scenario = build_scenario(small(liteworp=False))
+    report = scenario.run()
+    return scenario, report
+
+
+@pytest.fixture(scope="module")
+def outofband_protected():
+    scenario = build_scenario(small(liteworp=True))
+    report = scenario.run()
+    return scenario, report
+
+
+def test_wormhole_attracts_routes_without_liteworp(outofband_baseline):
+    _scenario, report = outofband_baseline
+    assert report.malicious_routes > 0
+    assert report.fraction_malicious_routes > 0.05
+
+
+def test_wormhole_drops_data_without_liteworp(outofband_baseline):
+    _scenario, report = outofband_baseline
+    assert report.wormhole_drops > 10
+
+
+def test_no_isolation_without_liteworp(outofband_baseline):
+    _scenario, report = outofband_baseline
+    assert report.isolation_times == {}
+
+
+def test_liteworp_isolates_both_colluders(outofband_protected):
+    scenario, report = outofband_protected
+    for malicious in scenario.malicious_ids:
+        assert report.isolation_latency(malicious) is not None, malicious
+
+
+def test_liteworp_cuts_drops_by_order_of_magnitude(
+    outofband_baseline, outofband_protected
+):
+    _, base = outofband_baseline
+    _, protected = outofband_protected
+    assert protected.wormhole_drops < base.wormhole_drops / 4
+
+
+def test_liteworp_cuts_malicious_routes(outofband_baseline, outofband_protected):
+    _, base = outofband_baseline
+    _, protected = outofband_protected
+    assert protected.fraction_malicious_routes < base.fraction_malicious_routes
+
+
+def test_isolation_latency_reasonable(outofband_protected):
+    _scenario, report = outofband_protected
+    latency = report.mean_isolation_latency()
+    assert latency is not None
+    assert latency < 120.0
+
+
+def test_no_honest_node_fully_isolated(outofband_protected):
+    scenario, report = outofband_protected
+    bad = set(scenario.malicious_ids)
+    false_theta = [
+        record
+        for record in scenario.trace.of_kind("isolation")
+        if record["accused"] not in bad
+    ]
+    assert false_theta == []
+
+
+def test_guards_accuse_via_fabrication(outofband_protected):
+    scenario, _report = outofband_protected
+    bad = set(scenario.malicious_ids)
+    fabrication_on_bad = [
+        record
+        for record in scenario.trace.of_kind("malc_increment")
+        if record["accused"] in bad and record["reason"] == "fabrication"
+    ]
+    assert fabrication_on_bad
+
+
+def test_encapsulation_mode_also_detected():
+    scenario = build_scenario(small(mode="encapsulation"))
+    report = scenario.run()
+    isolated = [m for m in scenario.malicious_ids if report.isolation_latency(m) is not None]
+    assert isolated  # at least one end isolated within the horizon
+
+
+def test_encapsulation_tunnel_slower_than_outofband():
+    from repro.attacks.coordinator import WormholeCoordinator
+    scenario = build_scenario(small(mode="encapsulation"))
+    coordinator = scenario.coordinator
+    assert coordinator is not None
+    a, b = scenario.malicious_ids[:2]
+    delay = coordinator._tunnel_delay(a, b)  # noqa: SLF001 - white-box check
+    assert delay > WormholeCoordinator(
+        scenario.sim, scenario.network, scenario.trace
+    )._tunnel_delay(a, b)  # noqa: SLF001
+
+
+def test_naive_prev_strategy_rejected_by_second_hop_check():
+    """With the naive strategy, the forged request names the colluder as
+    previous hop; every receiver's two-hop check rejects it outright."""
+    scenario = build_scenario(small(fake_prev_strategy="naive", duration=120.0))
+    report = scenario.run()
+    rejects = scenario.trace.count("frame_rejected", reason="secondhop")
+    assert rejects > 0
+    assert report.malicious_routes <= 2  # the wormhole gains almost nothing
+
+
+def test_attack_before_start_time_is_dormant():
+    scenario = build_scenario(small(duration=60.0))
+    # Peek mid-run: nothing malicious before t=30.
+    scenario.traffic.start()
+    scenario.sim.run(until=29.0)
+    assert scenario.trace.count("malicious_drop") == 0
+    assert scenario.trace.count("wormhole_activity") == 0
+
+
+def test_single_colluder_tunnel_mode_rejected():
+    with pytest.raises(ValueError):
+        ScenarioConfig(n_nodes=20, attack_mode="outofband", n_malicious=1)
+
+
+def test_zero_malicious_is_clean():
+    scenario = build_scenario(
+        ScenarioConfig(n_nodes=20, duration=80.0, seed=2, attack_mode="none", n_malicious=0)
+    )
+    report = scenario.run()
+    assert report.wormhole_drops == 0
+    assert report.malicious_routes == 0

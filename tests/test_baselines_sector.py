@@ -1,0 +1,84 @@
+"""Tests for the SECTOR distance-bounding baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.sector import LIGHT_SPEED, DistanceBounding, SectorConfig
+from repro.net.radio import UnitDiskRadio
+
+
+def build(positions, **cfg):
+    radio = UnitDiskRadio(positions, default_range=30.0)
+    config = SectorConfig(comm_range=30.0, **cfg)
+    return DistanceBounding(radio, config, random.Random(7))
+
+
+def test_true_neighbor_accepted_with_sharp_clock():
+    bounder = build({0: (0.0, 0.0), 1: (20.0, 0.0)})
+    accepted, measured = bounder.verify_neighbor(0, 1)
+    assert accepted
+    assert measured == pytest.approx(20.0, abs=1.0)
+
+
+def test_distant_prover_rejected():
+    """The relay-created fake neighbor: physically 60 m away."""
+    bounder = build({0: (0.0, 0.0), 1: (60.0, 0.0)})
+    accepted, measured = bounder.verify_neighbor(0, 1)
+    assert not accepted
+    assert measured > 30.0
+
+
+def test_prover_cannot_appear_closer():
+    """Distance bounding's core guarantee: measured >= true - noise, and
+    the noise band with ns clocks is centimetres."""
+    bounder = build({0: (0.0, 0.0), 1: (29.0, 0.0)})
+    for _ in range(50):
+        _, measured = bounder.verify_neighbor(0, 1)
+        assert measured >= 29.0 - 0.2
+
+
+def test_software_turnaround_reads_as_distance():
+    """A 1 microsecond software responder adds ~150 m of apparent
+    distance: MAD's special-hardware requirement, quantified."""
+    bounder = build({0: (0.0, 0.0), 1: (10.0, 0.0)}, responder_delay=1e-6)
+    accepted, measured = bounder.verify_neighbor(0, 1)
+    assert not accepted
+    assert measured == pytest.approx(10.0 + 1e-6 * LIGHT_SPEED / 2, rel=0.01)
+
+
+def test_coarse_clock_makes_verification_useless():
+    """With microsecond timing the error band is +-150 m: genuine
+    neighbors are rejected about half the time."""
+    bounder = build({0: (0.0, 0.0), 1: (10.0, 0.0)}, clock_resolution=1e-6)
+    rate = bounder.false_reject_rate(0, 1, trials=400)
+    assert 0.25 < rate < 0.75
+
+
+def test_sharp_clock_never_false_rejects():
+    bounder = build({0: (0.0, 0.0), 1: (10.0, 0.0)})
+    assert bounder.false_reject_rate(0, 1, trials=100) == 0.0
+
+
+def test_distance_error_formula():
+    config = SectorConfig(clock_resolution=2e-9)
+    assert config.distance_error == pytest.approx(2e-9 * LIGHT_SPEED / 2)
+
+
+def test_counters():
+    bounder = build({0: (0.0, 0.0), 1: (60.0, 0.0)})
+    bounder.verify_neighbor(0, 1)
+    assert bounder.verifications == 1
+    assert bounder.rejections == 1
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SectorConfig(comm_range=0)
+    with pytest.raises(ValueError):
+        SectorConfig(clock_resolution=-1)
+    with pytest.raises(ValueError):
+        SectorConfig(responder_delay=-1)
+    bounder = build({0: (0.0, 0.0), 1: (10.0, 0.0)})
+    with pytest.raises(ValueError):
+        bounder.false_reject_rate(0, 1, trials=0)

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_taxonomy_command(capsys):
+    assert main(["taxonomy"]) == 0
+    out = capsys.readouterr().out
+    assert "Packet encapsulation" in out
+    assert "Out-of-band channel" in out
+
+
+def test_cost_command(capsys):
+    assert main(["cost"]) == 0
+    out = capsys.readouterr().out
+    assert "Neighbor lists (NBL)" in out
+
+
+def test_fig6_command(capsys):
+    assert main(["fig6"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 6(a)" in out and "Figure 6(b)" in out
+
+
+def test_run_command_small(capsys):
+    code = main([
+        "run", "--nodes", "20", "--duration", "80", "--seed", "3",
+        "--attack", "outofband", "--malicious", "2", "--attack-start", "30",
+        "--defense", "liteworp",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "wormhole drops" in out
+    assert "malicious nodes" in out
+
+
+def test_run_command_no_attack(capsys):
+    code = main([
+        "run", "--nodes", "20", "--duration", "60", "--attack", "none",
+        "--defense", "none",
+    ])
+    assert code == 0
+    assert "wormhole drops        : 0" in capsys.readouterr().out
+
+
+def test_parser_rejects_unknown_attack():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--attack", "quantum"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_fig10_command_tiny(capsys):
+    code = main(["fig10", "--nodes", "40", "--duration", "120", "--runs", "1"])
+    assert code == 0
+    assert "theta" in capsys.readouterr().out
+
+
+def test_run_command_json_output(tmp_path, capsys):
+    target = tmp_path / "out" / "report.json"
+    code = main([
+        "run", "--nodes", "20", "--duration", "60", "--attack", "none",
+        "--defense", "none", "--json", str(target),
+    ])
+    assert code == 0
+    import json
+    payload = json.loads(target.read_text())
+    assert payload["wormhole_drops"] == 0
+    assert payload["originated"] >= 0

@@ -1,0 +1,132 @@
+"""Tests for lowest-ID clustering and its wormhole corruption."""
+
+import pytest
+
+from repro.clustering.lowest_id import (
+    ClusterAnnounce,
+    ClusteringConfig,
+    ClusterWormhole,
+    LowestIdClustering,
+    cluster_integrity,
+)
+from repro.core.agent import LiteworpAgent
+from repro.core.config import LiteworpConfig
+from repro.crypto.keys import PairwiseKeyManager
+from repro.net.topology import Topology, grid_topology
+from tests.conftest import Harness
+
+
+def two_islands():
+    """Two 4-node cliques ~500 m apart: no radio path between them."""
+    positions = {}
+    for i in range(4):
+        positions[i] = (i * 15.0, 0.0)            # island A: ids 0..3
+    for i in range(4):
+        positions[10 + i] = (500.0 + i * 15.0, 0.0)  # island B: ids 10..13
+    return Topology(positions=positions, tx_range=50.0)
+
+
+def build(topology, liteworp_ids=(), wormhole=None):
+    harness = Harness(topology)
+    keys = PairwiseKeyManager()
+    adjacency = topology.adjacency()
+    agents = {}
+    for node_id in topology.node_ids:
+        if node_id in liteworp_ids:
+            lw = LiteworpAgent(
+                harness.sim, harness.node(node_id), keys.enroll(node_id),
+                LiteworpConfig(), harness.trace,
+            )
+            lw.install_oracle(adjacency)
+        agents[node_id] = LowestIdClustering(
+            harness.sim, harness.node(node_id), ClusteringConfig(), harness.trace
+        )
+    attacker = None
+    if wormhole is not None:
+        near, far = wormhole
+        attacker = ClusterWormhole(
+            harness.sim, harness.node(near), harness.node(far), harness.trace
+        )
+        attacker.activate()
+    for agent in agents.values():
+        agent.start()
+    return harness, agents, attacker
+
+
+def test_single_clique_elects_lowest_id():
+    topology = grid_topology(columns=3, rows=1, spacing=10.0, tx_range=30.0)
+    harness, agents, _ = build(topology)
+    harness.run(10.0)
+    assert agents[0].is_head
+    assert agents[1].head == 0
+    assert agents[2].head == 0
+
+
+def test_islands_elect_independent_heads():
+    harness, agents, _ = build(two_islands())
+    harness.run(10.0)
+    assert agents[0].is_head
+    assert agents[10].is_head
+    for member in (1, 2, 3):
+        assert agents[member].head == 0
+    for member in (11, 12, 13):
+        assert agents[member].head == 10
+
+
+def test_integrity_clean_without_attack():
+    topology = two_islands()
+    harness, agents, _ = build(topology)
+    harness.run(10.0)
+    audit = cluster_integrity(agents, topology)
+    assert audit["ok"]
+    assert audit["heads"] == [0, 10]
+    assert audit["broken_memberships"] == []
+
+
+def test_wormhole_creates_phantom_memberships():
+    """Replaying island A's head announcement into island B makes B's
+    nodes join a head 500 m away."""
+    topology = two_islands()
+    harness, agents, attacker = build(topology, wormhole=(3, 13))
+    harness.run(10.0)
+    audit = cluster_integrity(agents, topology)
+    assert attacker.replayed >= 1
+    assert not audit["ok"]
+    # Some island-B node believes head 0 (unreachable) is its head.
+    assert any(agents[m].head == 0 for m in (10, 11, 12))
+    assert audit["broken_memberships"]
+
+
+def test_liteworp_blocks_phantom_memberships():
+    topology = two_islands()
+    liteworp_ids = tuple(topology.node_ids)
+    harness, agents, attacker = build(
+        topology, liteworp_ids=liteworp_ids, wormhole=(3, 13)
+    )
+    harness.run(10.0)
+    audit = cluster_integrity(agents, topology)
+    # Replays happened but every one was rejected as non-neighbor.
+    assert attacker.replayed >= 1
+    assert audit["ok"], audit
+    assert harness.trace.count("frame_rejected", reason="nonneighbor") >= 1
+
+
+def test_integrity_flags_unassigned():
+    topology = grid_topology(columns=2, rows=1, spacing=10.0, tx_range=30.0)
+    harness, agents, _ = build(topology)
+    # Do not run the sim: nobody has a head yet.
+    audit = cluster_integrity(agents, topology)
+    assert not audit["ok"]
+    assert audit["unassigned"] == [0, 1]
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ClusteringConfig(start_time=-1)
+    with pytest.raises(ValueError):
+        ClusteringConfig(slot=0)
+
+
+def test_announce_packet_key():
+    assert ClusterAnnounce(head=5).key() == ("CH", 5)
+    assert not ClusterAnnounce(head=5).monitored  # one-hop message

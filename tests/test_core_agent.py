@@ -1,0 +1,162 @@
+"""Tests for the composed LITEWORP agent: legitimacy filters, send vetoes,
+and routing integration."""
+
+from repro.core.agent import LiteworpAgent
+from repro.core.config import LiteworpConfig
+from repro.crypto.keys import PairwiseKeyManager
+from repro.net.packet import DataPacket, Frame, RouteRequest
+from repro.net.topology import grid_topology
+from repro.routing.config import RoutingConfig
+from repro.routing.ondemand import OnDemandRouting
+from tests.conftest import Harness
+
+
+def build_agent(harness, node_id, config=None, keys=None):
+    keys = keys or PairwiseKeyManager()
+    agent = LiteworpAgent(
+        harness.sim,
+        harness.node(node_id),
+        keys.enroll(node_id),
+        config or LiteworpConfig(),
+        harness.trace,
+    )
+    agent.install_oracle(harness.topology.adjacency())
+    return agent
+
+
+def test_non_neighbor_frames_rejected():
+    harness = Harness(grid_topology(columns=3, rows=1, spacing=25.0, tx_range=30.0))
+    agent = build_agent(harness, 1)
+    seen = []
+    harness.node(1).add_listener(seen.append)
+    # A frame claiming to come from node 99 (not a neighbor).
+    ghost = Frame(packet=RouteRequest(origin=99, request_id=1, target=1), transmitter=99)
+    harness.node(1).deliver(ghost)
+    assert seen == []
+    assert agent.rejects["nonneighbor"] == 1
+    assert harness.trace.count("frame_rejected", reason="nonneighbor") == 1
+
+
+def test_second_hop_check_rejects_unknown_prev():
+    harness = Harness(grid_topology(columns=3, rows=1, spacing=25.0, tx_range=30.0))
+    agent = build_agent(harness, 0)
+    seen = []
+    harness.node(0).add_listener(seen.append)
+    # Node 1 claims the packet came from 77, which is not in R_1.
+    frame = Frame(
+        packet=RouteRequest(origin=9, request_id=1, target=0),
+        transmitter=1,
+        prev_hop=77,
+    )
+    harness.node(0).deliver(frame)
+    assert seen == []
+    assert agent.rejects["secondhop"] == 1
+
+
+def test_second_hop_check_accepts_known_prev():
+    harness = Harness(grid_topology(columns=3, rows=1, spacing=25.0, tx_range=30.0))
+    agent = build_agent(harness, 0)
+    seen = []
+    harness.node(0).add_listener(seen.append)
+    # Node 1's real neighbors are {0, 2}; claiming prev=2 is plausible.
+    frame = Frame(
+        packet=RouteRequest(origin=9, request_id=1, target=0),
+        transmitter=1,
+        prev_hop=2,
+    )
+    harness.node(0).deliver(frame)
+    assert len(seen) == 1
+
+
+def test_second_hop_check_can_be_disabled():
+    harness = Harness(grid_topology(columns=3, rows=1, spacing=25.0, tx_range=30.0))
+    agent = build_agent(harness, 0, config=LiteworpConfig(second_hop_check=False))
+    seen = []
+    harness.node(0).add_listener(seen.append)
+    frame = Frame(
+        packet=RouteRequest(origin=9, request_id=1, target=0), transmitter=1, prev_hop=77
+    )
+    harness.node(0).deliver(frame)
+    assert len(seen) == 1
+
+
+def test_revoked_transmitter_rejected():
+    harness = Harness(grid_topology(columns=3, rows=1, spacing=25.0, tx_range=30.0))
+    agent = build_agent(harness, 0)
+    agent.table.revoke(1)
+    seen = []
+    harness.node(0).add_listener(seen.append)
+    frame = Frame(packet=RouteRequest(origin=1, request_id=1, target=0), transmitter=1)
+    harness.node(0).deliver(frame)
+    assert seen == []
+    assert agent.rejects["revoked"] == 1
+
+
+def test_send_to_revoked_vetoed():
+    harness = Harness(grid_topology(columns=3, rows=1, spacing=25.0, tx_range=30.0))
+    agent = build_agent(harness, 0)
+    agent.table.revoke(1)
+    sent = harness.node(0).unicast(
+        DataPacket(origin=0, destination=1), next_hop=1, jitter=0.0
+    )
+    assert not sent
+    assert harness.trace.count("send_blocked", node=0) == 1
+
+
+def test_broadcasts_not_vetoed_by_revocation():
+    harness = Harness(grid_topology(columns=3, rows=1, spacing=25.0, tx_range=30.0))
+    agent = build_agent(harness, 0)
+    agent.table.revoke(1)
+    sent = harness.node(0).broadcast(
+        RouteRequest(origin=0, request_id=1, target=2), jitter=0.0
+    )
+    assert sent
+
+
+def test_inactive_agent_accepts_everything():
+    harness = Harness(grid_topology(columns=3, rows=1, spacing=25.0, tx_range=30.0))
+    keys = PairwiseKeyManager()
+    agent = LiteworpAgent(
+        harness.sim, harness.node(1), keys.enroll(1), LiteworpConfig(), harness.trace
+    )
+    # No oracle install, no discovery: not yet activated.
+    seen = []
+    harness.node(1).add_listener(seen.append)
+    frame = Frame(packet=RouteRequest(origin=99, request_id=1, target=1), transmitter=99)
+    harness.node(1).deliver(frame)
+    assert len(seen) == 1
+
+
+def test_attach_router_blocks_revoked_next_hops():
+    harness = Harness(grid_topology(columns=3, rows=1, spacing=25.0, tx_range=30.0))
+    agent = build_agent(harness, 0)
+    router = OnDemandRouting(
+        harness.sim, harness.node(0), RoutingConfig(), harness.trace,
+        harness.rng.stream("r0"),
+    )
+    agent.attach_router(router)
+    assert router.usable(1)
+    agent.table.revoke(1)
+    assert not router.usable(1)
+
+
+def test_attach_router_evicts_routes_on_revocation():
+    harness = Harness(grid_topology(columns=3, rows=1, spacing=25.0, tx_range=30.0))
+    agent = build_agent(harness, 0, config=LiteworpConfig(theta=1))
+    router = OnDemandRouting(
+        harness.sim, harness.node(0), RoutingConfig(), harness.trace,
+        harness.rng.stream("r0"),
+    )
+    agent.attach_router(router)
+    router.routes.install(destination=2, next_hop=1, now=0.0)
+    agent.isolation.handle_local_detection(1)
+    assert router.routes.lookup(2, now=0.1) is None
+
+
+def test_is_usable_before_activation():
+    harness = Harness(grid_topology(columns=2, rows=1, spacing=25.0, tx_range=30.0))
+    keys = PairwiseKeyManager()
+    agent = LiteworpAgent(
+        harness.sim, harness.node(0), keys.enroll(0), LiteworpConfig(), harness.trace
+    )
+    assert agent.is_usable(1)  # everything usable pre-activation

@@ -1,0 +1,127 @@
+"""Unit tests for neighbor tables and MalC counters."""
+
+import pytest
+
+from repro.core.tables import NeighborTable
+
+
+def test_add_and_query_neighbors():
+    table = NeighborTable(owner=0)
+    table.add_neighbor(1)
+    table.add_neighbor(2)
+    assert set(table.neighbors()) == {1, 2}
+    assert table.is_neighbor(1)
+    assert not table.is_neighbor(3)
+
+
+def test_add_self_rejected():
+    table = NeighborTable(owner=0)
+    with pytest.raises(ValueError):
+        table.add_neighbor(0)
+
+
+def test_add_neighbor_idempotent_preserves_malc():
+    table = NeighborTable(owner=0)
+    table.add_neighbor(1)
+    table.record_malicious(1, 3, now=0.0, window=100.0)
+    table.add_neighbor(1)
+    assert table.malc(1, now=1.0, window=100.0) == 3
+
+
+def test_revocation_lifecycle():
+    table = NeighborTable(owner=0)
+    table.add_neighbor(1)
+    assert table.is_active_neighbor(1)
+    assert table.revoke(1)
+    assert table.is_revoked(1)
+    assert not table.is_active_neighbor(1)
+    assert table.is_neighbor(1)  # still known, just revoked
+    assert not table.revoke(1)  # second revoke reports no change
+
+
+def test_revoke_unknown_creates_tombstone():
+    table = NeighborTable(owner=0)
+    assert table.revoke(9)
+    assert table.is_revoked(9)
+
+
+def test_active_neighbors_excludes_revoked():
+    table = NeighborTable(owner=0)
+    table.add_neighbor(1)
+    table.add_neighbor(2)
+    table.revoke(1)
+    assert table.active_neighbors() == (2,)
+
+
+def test_malc_accumulates():
+    table = NeighborTable(owner=0)
+    table.add_neighbor(1)
+    assert table.record_malicious(1, 2, now=0.0, window=100.0) == 2
+    assert table.record_malicious(1, 1, now=1.0, window=100.0) == 3
+
+
+def test_malc_window_prunes_old_events():
+    table = NeighborTable(owner=0)
+    table.add_neighbor(1)
+    table.record_malicious(1, 5, now=0.0, window=10.0)
+    assert table.malc(1, now=9.0, window=10.0) == 5
+    assert table.malc(1, now=11.0, window=10.0) == 0
+
+
+def test_malc_unknown_node_zero():
+    table = NeighborTable(owner=0)
+    assert table.malc(42, now=0.0, window=10.0) == 0
+
+
+def test_second_hop_lists():
+    table = NeighborTable(owner=0)
+    table.add_neighbor(1)
+    table.set_neighbor_list(1, (0, 2, 3))
+    assert table.neighbors_of(1) == frozenset({0, 2, 3})
+    assert table.knows_second_hop(1)
+    assert not table.knows_second_hop(2)
+
+
+def test_second_hop_neighbors_union():
+    table = NeighborTable(owner=0)
+    table.add_neighbor(1)
+    table.add_neighbor(2)
+    table.set_neighbor_list(1, (0, 3, 4))
+    table.set_neighbor_list(2, (0, 4, 5))
+    # Union minus self and first-hop members.
+    assert table.second_hop_neighbors() == frozenset({3, 4, 5})
+
+
+def test_guards_of_link():
+    table = NeighborTable(owner=0)
+    table.set_neighbor_list(1, (0, 2, 3))
+    table.set_neighbor_list(2, (0, 1, 3))
+    guards = table.guards_of_link(1, 2)
+    # Common neighbors {0, 3} plus the sender 1, minus the receiver 2.
+    assert set(guards) == {0, 1, 3}
+
+
+def test_guards_of_link_unknown():
+    table = NeighborTable(owner=0)
+    assert table.guards_of_link(1, 2) == ()
+
+
+def test_alert_buffer_counts_distinct_guards():
+    table = NeighborTable(owner=0)
+    assert table.add_alert(accused=5, guard=1) == 1
+    assert table.add_alert(accused=5, guard=1) == 1  # duplicate guard
+    assert table.add_alert(accused=5, guard=2) == 2
+    assert table.alert_count(5) == 2
+    assert table.alert_guards(5) == frozenset({1, 2})
+    assert table.alert_count(99) == 0
+
+
+def test_storage_accounting():
+    table = NeighborTable(owner=0)
+    for neighbor in range(1, 11):
+        table.add_neighbor(neighbor)
+        table.set_neighbor_list(neighbor, tuple(range(20, 30)))
+    # 10 first-hop entries at 5 B + 10 lists of 10 ids at 4 B.
+    assert table.storage_bytes() == 10 * 5 + 10 * 10 * 4
+    # The paper's claim: under half a kilobyte at N_B = 10.
+    assert table.storage_bytes() < 512

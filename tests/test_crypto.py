@@ -1,0 +1,164 @@
+"""Unit tests for the crypto substrate."""
+
+import pytest
+
+from repro.crypto.auth import AuthError, Authenticator, TAG_BYTES, tag_many
+from repro.crypto.keys import PairwiseKeyManager
+from repro.crypto.replay import ReplayCache
+
+
+# ----------------------------------------------------------------------
+# Keys
+# ----------------------------------------------------------------------
+def test_pairwise_key_is_symmetric():
+    mgr = PairwiseKeyManager(b"master")
+    assert mgr.pairwise_key(1, 2) == mgr.pairwise_key(2, 1)
+
+
+def test_pairwise_keys_differ_per_pair():
+    mgr = PairwiseKeyManager(b"master")
+    assert mgr.pairwise_key(1, 2) != mgr.pairwise_key(1, 3)
+    assert mgr.pairwise_key(1, 2) != mgr.pairwise_key(2, 3)
+
+
+def test_pairwise_key_with_self_rejected():
+    mgr = PairwiseKeyManager(b"master")
+    with pytest.raises(ValueError):
+        mgr.pairwise_key(4, 4)
+
+
+def test_keys_differ_across_masters():
+    assert (
+        PairwiseKeyManager(b"m1").pairwise_key(1, 2)
+        != PairwiseKeyManager(b"m2").pairwise_key(1, 2)
+    )
+
+
+def test_empty_master_rejected():
+    with pytest.raises(ValueError):
+        PairwiseKeyManager(b"")
+
+
+def test_enrolled_store_derives_keys():
+    mgr = PairwiseKeyManager(b"master")
+    store = mgr.enroll(7)
+    assert store.has_keys
+    assert store.key_with(9) == mgr.pairwise_key(7, 9)
+
+
+def test_outsider_store_has_no_keys():
+    mgr = PairwiseKeyManager(b"master")
+    outsider = mgr.outsider(1000)
+    assert not outsider.has_keys
+    assert outsider.key_with(1) is None
+
+
+# ----------------------------------------------------------------------
+# Authentication
+# ----------------------------------------------------------------------
+def test_tag_roundtrip():
+    key = b"k" * 16
+    tag = Authenticator.tag(key, "alert", 1, 2)
+    assert len(tag) == TAG_BYTES
+    assert Authenticator.verify(key, tag, "alert", 1, 2)
+
+
+def test_tag_rejects_wrong_payload():
+    key = b"k" * 16
+    tag = Authenticator.tag(key, "alert", 1, 2)
+    assert not Authenticator.verify(key, tag, "alert", 1, 3)
+
+
+def test_tag_rejects_wrong_key():
+    tag = Authenticator.tag(b"key-a", "x")
+    assert not Authenticator.verify(b"key-b", tag, "x")
+
+
+def test_verify_with_missing_key_fails():
+    tag = Authenticator.tag(b"key", "x")
+    assert not Authenticator.verify(None, tag, "x")
+    assert not Authenticator.verify(b"", tag, "x")
+
+
+def test_forged_tag_fails():
+    assert not Authenticator.verify(b"key", Authenticator.forge(), "payload")
+
+
+def test_payload_type_distinction():
+    """The canonical encoding must not confuse 1 and "1"."""
+    key = b"key"
+    assert Authenticator.tag(key, 1) != Authenticator.tag(key, "1")
+    assert Authenticator.tag(key, (1, 2)) != Authenticator.tag(key, (12,))
+    assert Authenticator.tag(key, None) != Authenticator.tag(key, 0)
+    assert Authenticator.tag(key, True) != Authenticator.tag(key, 1)
+
+
+def test_nested_tuples_supported():
+    key = b"key"
+    tag = Authenticator.tag(key, ("list", (1, 2, 3)))
+    assert Authenticator.verify(key, tag, ("list", (1, 2, 3)))
+
+
+def test_uncanonicalisable_payload_raises():
+    with pytest.raises(AuthError):
+        Authenticator.tag(b"key", object())
+
+
+def test_empty_key_raises():
+    with pytest.raises(AuthError):
+        Authenticator.tag(b"", "x")
+
+
+def test_tag_many_skips_missing_keys():
+    mgr = PairwiseKeyManager(b"m")
+    store = mgr.enroll(1)
+
+    def lookup(recipient):
+        return store.key_with(recipient) if recipient != 3 else None
+
+    tags = tag_many(lookup, 1, [2, 3, 4], "payload")
+    assert [recipient for recipient, _ in tags] == [2, 4]
+    for recipient, tag in tags:
+        key = mgr.pairwise_key(1, recipient)
+        assert Authenticator.verify(key, tag, 1, "payload")
+
+
+# ----------------------------------------------------------------------
+# Replay cache
+# ----------------------------------------------------------------------
+def test_replay_first_time_is_fresh():
+    cache = ReplayCache()
+    assert not cache.seen_before("msg-1", now=0.0)
+
+
+def test_replay_second_time_is_caught():
+    cache = ReplayCache()
+    cache.seen_before("msg-1", now=0.0)
+    assert cache.seen_before("msg-1", now=1.0)
+
+
+def test_replay_window_expiry():
+    cache = ReplayCache(window=10.0)
+    cache.seen_before("msg-1", now=0.0)
+    assert not cache.seen_before("msg-1", now=20.0)
+
+
+def test_replay_within_window_still_caught():
+    cache = ReplayCache(window=10.0)
+    cache.seen_before("msg-1", now=0.0)
+    assert cache.seen_before("msg-1", now=9.0)
+
+
+def test_replay_max_entries_evicts_oldest():
+    cache = ReplayCache(max_entries=2)
+    cache.seen_before("a", now=0.0)
+    cache.seen_before("b", now=1.0)
+    cache.seen_before("c", now=2.0)  # evicts "a"
+    assert not cache.seen_before("a", now=3.0)
+
+
+def test_replay_invalid_params():
+    with pytest.raises(ValueError):
+        ReplayCache(window=0)
+    with pytest.raises(ValueError):
+        ReplayCache(max_entries=0)

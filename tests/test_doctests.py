@@ -1,0 +1,18 @@
+"""Run the doctests embedded in module docstrings and classes."""
+
+import doctest
+
+import repro.sim.engine
+import repro.sim.rng
+
+
+def test_engine_doctests():
+    results = doctest.testmod(repro.sim.engine, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0
+
+
+def test_rng_doctests():
+    results = doctest.testmod(repro.sim.rng, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0

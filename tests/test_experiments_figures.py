@@ -1,0 +1,82 @@
+"""Shape tests for the figure regenerators (scaled-down sweeps).
+
+These use small networks and short horizons; the benchmark suite runs the
+paper-scale versions.  What must hold here are the *shapes* the paper
+reports, not absolute numbers.
+"""
+
+import pytest
+
+from repro.experiments.figures import run_fig8, run_fig9, run_fig10
+from repro.experiments.scenario import ScenarioConfig
+
+
+SMALL = ScenarioConfig(n_nodes=30, duration=150.0, seed=5, attack_start=30.0)
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return run_fig8(base=SMALL, malicious_counts=(2,), runs=1, sample_interval=25.0)
+
+
+def test_fig8_baseline_grows_steadily(fig8):
+    series = fig8.series[(2, False)]
+    assert series[-1] > 10
+    # Cumulative counts are non-decreasing.
+    assert all(b >= a for a, b in zip(series, series[1:]))
+
+
+def test_fig8_liteworp_plateaus(fig8):
+    protected = fig8.series[(2, True)]
+    baseline = fig8.series[(2, False)]
+    assert protected[-1] < baseline[-1] / 3
+    # After isolation + route timeout, the protected curve goes flat:
+    # the second half of the run adds (almost) nothing.
+    mid = len(protected) // 2
+    assert protected[-1] - protected[mid] <= max(2.0, 0.2 * protected[-1])
+
+
+def test_fig8_format_renders(fig8):
+    text = fig8.format()
+    assert "time" in text
+    assert len(text.splitlines()) == len(fig8.times) + 1
+
+
+def test_fig9_fractions_shape():
+    result = run_fig9(base=SMALL, malicious_counts=(0, 2), runs=1)
+    rows = {m: row for m, *row in [(r[0], r[1:]) for r in result.rows()]}
+    drop_base_0, malrt_base_0, drop_lw_0, malrt_lw_0 = rows[0][0]
+    drop_base_2, malrt_base_2, drop_lw_2, malrt_lw_2 = rows[2][0]
+    # No compromised nodes: nothing malicious anywhere.
+    assert drop_base_0 == 0.0 and malrt_base_0 == 0.0
+    # Two colluders, baseline: noticeable damage.
+    assert drop_base_2 > 0.01
+    assert malrt_base_2 > 0.05
+    # LITEWORP: restored to near-zero.
+    assert drop_lw_2 < drop_base_2 / 2
+    assert malrt_lw_2 < malrt_base_2
+
+
+def test_fig9_single_malicious_is_harmless_for_tunnel_modes():
+    result = run_fig9(base=SMALL, malicious_counts=(1,), runs=1)
+    row = result.rows()[0]
+    assert row[0] == 1
+    assert row[1] == 0.0  # baseline fraction dropped
+    assert row[2] == 0.0  # baseline malicious routes
+
+
+def test_fig10_detection_and_latency():
+    result = run_fig10(
+        base=ScenarioConfig(n_nodes=40, avg_neighbors=12.0, duration=150.0,
+                            seed=5, attack_start=30.0),
+        thetas=(2, 6),
+        runs=1,
+    )
+    rows = result.rows()
+    assert len(rows) == 2
+    # Analytical detection decreases with theta.
+    assert result.analytical_detection[2] >= result.analytical_detection[6]
+    # Simulated detection at the easy setting is positive.
+    assert result.sim_detection[2] > 0.0
+    text = result.format()
+    assert "theta" in text

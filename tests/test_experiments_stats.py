@@ -1,0 +1,63 @@
+"""Tests for the statistics helpers and report serialisation."""
+
+import json
+
+import pytest
+
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.experiments.stats import Summary, summarize, summarize_optional
+
+
+def test_summarize_basic():
+    s = summarize([1.0, 2.0, 3.0])
+    assert s.mean == pytest.approx(2.0)
+    assert s.std == pytest.approx(1.0)
+    assert s.count == 3
+
+
+def test_summarize_empty():
+    s = summarize([])
+    assert s.mean == 0.0 and s.std == 0.0 and s.count == 0
+    assert s.sem == 0.0
+
+
+def test_summarize_single_value():
+    s = summarize([5.0])
+    assert s.mean == 5.0 and s.std == 0.0 and s.count == 1
+
+
+def test_confidence_interval_contains_mean():
+    s = summarize([1.0, 2.0, 3.0, 4.0])
+    low, high = s.confidence_interval()
+    assert low < s.mean < high
+
+
+def test_sem_shrinks_with_count():
+    narrow = summarize([1.0, 2.0] * 50)
+    wide = summarize([1.0, 2.0])
+    assert narrow.sem < wide.sem
+
+
+def test_summarize_optional_ignores_none():
+    s = summarize_optional([1.0, None, 3.0, None])
+    assert s.count == 2
+    assert s.mean == pytest.approx(2.0)
+
+
+def test_format():
+    text = summarize([1.0, 2.0]).format(precision=2)
+    assert text == "1.50 ± 0.71 (n=2)"
+
+
+def test_report_to_dict_roundtrips_through_json():
+    report = run_scenario(
+        ScenarioConfig(n_nodes=20, duration=80.0, seed=3, attack_start=30.0)
+    )
+    payload = report.to_dict()
+    encoded = json.dumps(payload)
+    decoded = json.loads(encoded)
+    assert decoded["originated"] == report.originated
+    assert decoded["wormhole_drops"] == report.wormhole_drops
+    assert set(decoded["isolation_latencies"]) == {
+        str(n) for n in report.isolation_times
+    }

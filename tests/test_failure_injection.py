@@ -1,0 +1,146 @@
+"""Failure-injection and robustness tests.
+
+- Ambient packet loss on top of collisions.
+- Guard crash-stop failures (a fraction of monitors die).
+- A framing attack: one compromised guard tries to get an honest node
+  isolated with false alerts — θ > 1 defends.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.agent import LiteworpAgent
+from repro.core.config import LiteworpConfig
+from repro.crypto.auth import Authenticator
+from repro.crypto.keys import PairwiseKeyManager
+from repro.experiments.scenario import ScenarioConfig, build_scenario
+from repro.net.network import NetworkConfig
+from repro.net.packet import AlertPacket, Frame
+from repro.net.topology import grid_topology
+from tests.conftest import Harness
+
+
+def test_detection_survives_ambient_loss():
+    config = ScenarioConfig(
+        n_nodes=30,
+        duration=200.0,
+        seed=5,
+        attack_start=30.0,
+        network=NetworkConfig(ambient_loss=0.05),
+    )
+    scenario = build_scenario(config)
+    report = scenario.run()
+    detected = {
+        record["accused"]
+        for record in scenario.trace.of_kind("guard_detection")
+        if record["accused"] in set(scenario.malicious_ids)
+    }
+    assert detected  # still detects under 5% extra loss
+
+
+def test_no_false_isolations_under_ambient_loss():
+    config = ScenarioConfig(
+        n_nodes=30,
+        duration=200.0,
+        seed=5,
+        attack_mode="none",
+        n_malicious=0,
+        network=NetworkConfig(ambient_loss=0.05),
+    )
+    scenario = build_scenario(config)
+    scenario.run()
+    assert scenario.trace.count("isolation") == 0
+
+
+def test_guard_crashes_degrade_but_do_not_break_detection():
+    """Disable monitoring on a third of the honest nodes: detection must
+    still happen (redundant guards are the point of local monitoring)."""
+    config = ScenarioConfig(n_nodes=30, duration=200.0, seed=5, attack_start=30.0)
+    scenario = build_scenario(config)
+    crashed = list(scenario.agents)[::3]
+    for node_id in crashed:
+        scenario.agents[node_id].monitor.enabled = False
+    report = scenario.run()
+    detected = {
+        record["accused"]
+        for record in scenario.trace.of_kind("guard_detection")
+        if record["accused"] in set(scenario.malicious_ids)
+    }
+    assert detected
+
+
+def test_framing_attack_defeated_by_theta():
+    """One compromised guard floods alerts against an honest victim; with
+    θ = 3 nobody isolates the victim."""
+    harness = Harness(grid_topology(columns=3, rows=3, spacing=10.0, tx_range=30.0))
+    keys = PairwiseKeyManager()
+    config = LiteworpConfig(theta=3)
+    agents = {}
+    adjacency = harness.topology.adjacency()
+    for node_id in harness.topology.node_ids:
+        agent = LiteworpAgent(
+            harness.sim, harness.node(node_id), keys.enroll(node_id), config, harness.trace
+        )
+        agent.install_oracle(adjacency)
+        agents[node_id] = agent
+    liar, victim = 0, 4
+    # The liar is an insider: its alerts authenticate correctly.
+    for recipient in adjacency[victim]:
+        if recipient == liar:
+            continue
+        key = keys.pairwise_key(liar, recipient)
+        alert = AlertPacket(
+            guard=liar, accused=victim, recipient=recipient,
+            auth=Authenticator.tag(key, "alert", liar, victim, recipient),
+        )
+        harness.node(liar).unicast(alert, next_hop=recipient, jitter=0.0)
+    harness.run(10.0)
+    for node_id, agent in agents.items():
+        if node_id in (liar, victim):
+            continue
+        assert not agent.has_isolated(victim), f"node {node_id} was framed!"
+        assert agent.table.alert_count(victim) == 1  # one liar = one alert
+
+
+def test_framing_succeeds_only_with_theta_colluding_guards():
+    """Control for the previous test: θ distinct lying insiders CAN frame —
+    the paper's trust model bounds tolerable collusion by θ - 1."""
+    harness = Harness(grid_topology(columns=3, rows=3, spacing=10.0, tx_range=30.0))
+    keys = PairwiseKeyManager()
+    config = LiteworpConfig(theta=2)
+    agents = {}
+    adjacency = harness.topology.adjacency()
+    for node_id in harness.topology.node_ids:
+        agent = LiteworpAgent(
+            harness.sim, harness.node(node_id), keys.enroll(node_id), config, harness.trace
+        )
+        agent.install_oracle(adjacency)
+        agents[node_id] = agent
+    liars, victim, observer = (0, 1), 4, 8
+    for liar in liars:
+        key = keys.pairwise_key(liar, observer)
+        alert = AlertPacket(
+            guard=liar, accused=victim, recipient=observer,
+            auth=Authenticator.tag(key, "alert", liar, victim, observer),
+        )
+        harness.node(liar).unicast(alert, next_hop=observer, jitter=0.0)
+    harness.run(10.0)
+    assert agents[observer].has_isolated(victim)
+
+
+def test_mac_saturation_does_not_deadlock():
+    """Flood the MAC of one node far beyond channel capacity: the run must
+    terminate and account for every frame (sent or dropped)."""
+    harness = Harness(grid_topology(columns=2, rows=1, spacing=10.0, tx_range=30.0))
+    from repro.net.packet import DataPacket
+    node = harness.node(0)
+    for sequence in range(300):
+        node.unicast(
+            DataPacket(origin=0, destination=1, sequence=sequence),
+            next_hop=1, jitter=0.0,
+        )
+    harness.run(60.0)
+    mac = node.mac
+    assert mac.queue_length == 0
+    assert mac.sent + mac.dropped >= 300

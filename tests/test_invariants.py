@@ -1,0 +1,97 @@
+"""Cross-cutting conservation and invariant checks on full scenario runs.
+
+These are the "bookkeeping can't lie" tests: whatever the attack and
+defense do, the physical and accounting layers must balance.
+"""
+
+import pytest
+
+from repro.experiments.scenario import ScenarioConfig, build_scenario
+
+
+@pytest.fixture(scope="module")
+def attacked_run():
+    scenario = build_scenario(
+        ScenarioConfig(n_nodes=30, duration=150.0, seed=5, attack_start=30.0)
+    )
+    receptions = []
+    scenario.network.channel.add_reception_observer(receptions.append)
+    transmissions = []
+    scenario.network.channel.add_tx_observer(
+        lambda sender, frame, time: transmissions.append((sender, frame))
+    )
+    report = scenario.run()
+    return scenario, report, transmissions, receptions
+
+
+def test_reception_accounting_balances(attacked_run):
+    """Every reception was either delivered to the node or traced as lost."""
+    scenario, _report, _tx, receptions = attacked_run
+    delivered = sum(node.frames_received for node in scenario.network.nodes.values())
+    lost = scenario.trace.count("rx_lost")
+    assert delivered + lost == len(receptions)
+
+
+def test_channel_tx_counter_matches_observer(attacked_run):
+    scenario, _report, transmissions, _rx = attacked_run
+    assert scenario.network.channel.transmissions == len(transmissions)
+
+
+def test_mac_accounting_balances(attacked_run):
+    """Each MAC's sent counter matches the channel's view of its node."""
+    scenario, _report, transmissions, _rx = attacked_run
+    from collections import Counter
+    by_sender = Counter(sender for sender, _frame in transmissions)
+    for node_id, node in scenario.network.nodes.items():
+        assert node.mac.sent == by_sender.get(node_id, 0)
+
+
+def test_delivered_data_never_exceeds_originated(attacked_run):
+    _scenario, report, _tx, _rx = attacked_run
+    assert report.delivered <= report.originated
+
+
+def test_wormhole_drops_only_after_attack_start(attacked_run):
+    scenario, report, _tx, _rx = attacked_run
+    assert all(t >= scenario.config.attack_start for t in report.drop_times)
+
+
+def test_drop_times_sorted(attacked_run):
+    _scenario, report, _tx, _rx = attacked_run
+    assert list(report.drop_times) == sorted(report.drop_times)
+
+
+def test_every_isolation_has_prior_activity(attacked_run):
+    _scenario, report, _tx, _rx = attacked_run
+    for node, done in report.isolation_times.items():
+        assert node in report.first_activity
+        assert done >= report.first_activity[node]
+
+
+def test_malc_only_on_neighbors(attacked_run):
+    """Guards can only ever accuse nodes they could actually watch."""
+    scenario, _report, _tx, _rx = attacked_run
+    for record in scenario.trace.of_kind("malc_increment"):
+        guard, accused = record["guard"], record["accused"]
+        assert accused in scenario.network.neighbors(guard)
+
+
+def test_alerts_only_about_neighbors_of_recipient(attacked_run):
+    scenario, _report, _tx, _rx = attacked_run
+    for record in scenario.trace.of_kind("alert_accepted"):
+        node, accused = record["node"], record["accused"]
+        assert accused in scenario.network.neighbors(node)
+
+
+def test_trace_times_nondecreasing_per_kind(attacked_run):
+    scenario, _report, _tx, _rx = attacked_run
+    for kind in ("data_origin", "route_established", "guard_detection"):
+        times = [r.time for r in scenario.trace.of_kind(kind)]
+        assert times == sorted(times)
+
+
+def test_honest_nodes_never_emit_malicious_drops(attacked_run):
+    scenario, _report, _tx, _rx = attacked_run
+    bad = set(scenario.malicious_ids)
+    for record in scenario.trace.of_kind("malicious_drop"):
+        assert record["node"] in bad

@@ -1,0 +1,128 @@
+"""Unit tests for the metrics collector and report."""
+
+from repro.metrics.collector import MetricsCollector
+from repro.sim.trace import TraceLog
+
+
+def make(malicious=(5,), honest_neighbors=None):
+    trace = TraceLog()
+    collector = MetricsCollector(
+        trace,
+        malicious_ids=malicious,
+        honest_neighbors=honest_neighbors or {5: frozenset({1, 2})},
+    )
+    return trace, collector
+
+
+def test_origin_delivery_counting():
+    trace, collector = make()
+    trace.emit(1.0, "data_origin", packet=("DATA", 0, 1, 1), origin=0, destination=1)
+    trace.emit(1.5, "data_delivered", packet=("DATA", 0, 1, 1), origin=0, destination=1)
+    trace.emit(2.0, "data_origin", packet=("DATA", 0, 1, 2), origin=0, destination=1)
+    report = collector.report(duration=10.0)
+    assert report.originated == 2
+    assert report.delivered == 1
+    assert report.undelivered == 1
+    assert report.fraction_dropped == 0.5
+
+
+def test_wormhole_drop_series():
+    trace, collector = make()
+    for t in (10.0, 20.0, 30.0):
+        trace.emit(t, "malicious_drop", node=5, packet=())
+    report = collector.report(duration=40.0)
+    assert report.wormhole_drops == 3
+    assert report.cumulative_drops_at(5.0) == 0
+    assert report.cumulative_drops_at(20.0) == 2
+    assert report.drop_series([10.0, 25.0, 40.0]) == [1, 2, 3]
+
+
+def test_malicious_route_by_path_membership():
+    trace, collector = make()
+    trace.emit(
+        1.0, "route_established", origin=0, target=9, request_id=1,
+        hop_count=3, path=(0, 5, 9), next_hop=3,
+    )
+    trace.emit(
+        2.0, "route_established", origin=0, target=9, request_id=2,
+        hop_count=3, path=(0, 4, 9), next_hop=3,
+    )
+    report = collector.report()
+    assert report.routes_established == 2
+    assert report.malicious_routes == 1
+    assert report.fraction_malicious_routes == 0.5
+
+
+def test_malicious_route_by_next_hop():
+    trace, collector = make()
+    trace.emit(
+        1.0, "route_established", origin=0, target=9, request_id=1,
+        hop_count=1, path=(0, 9), next_hop=5,
+    )
+    assert collector.report().malicious_routes == 1
+
+
+def test_isolation_latency_requires_all_honest_neighbors():
+    trace, collector = make(honest_neighbors={5: frozenset({1, 2})})
+    trace.emit(50.0, "wormhole_activity", node=5)
+    trace.emit(60.0, "guard_detection", guard=1, accused=5)
+    report = collector.report()
+    assert report.isolation_latency(5) is None  # node 2 has not revoked yet
+    trace.emit(70.0, "isolation", node=2, accused=5)
+    report = collector.report()
+    assert report.isolation_latency(5) == 20.0
+
+
+def test_false_accusations_tracked_separately():
+    trace, collector = make()
+    trace.emit(10.0, "guard_detection", guard=1, accused=7)  # 7 is honest
+    report = collector.report()
+    assert report.false_isolations == {7: 1}
+    assert report.isolation_times == {}
+
+
+def test_detection_and_isolation_counters():
+    trace, collector = make()
+    trace.emit(1.0, "guard_detection", guard=1, accused=5)
+    trace.emit(2.0, "isolation", node=2, accused=5)
+    report = collector.report()
+    assert report.detections == 1
+    assert report.isolations == 1
+
+
+def test_revokers_of_accumulates():
+    trace, collector = make()
+    trace.emit(1.0, "guard_detection", guard=1, accused=5)
+    trace.emit(2.0, "isolation", node=2, accused=5)
+    assert collector.revokers_of(5) == frozenset({1, 2})
+    assert collector.fully_isolated(5)
+
+
+def test_empty_report_fractions():
+    _trace, collector = make()
+    report = collector.report(duration=10.0)
+    assert report.fraction_dropped == 0.0
+    assert report.fraction_malicious_routes == 0.0
+    assert report.mean_isolation_latency() is None
+
+
+def test_mean_isolation_latency():
+    trace, collector = make(
+        malicious=(5, 6),
+        honest_neighbors={5: frozenset({1}), 6: frozenset({2})},
+    )
+    trace.emit(10.0, "wormhole_activity", node=5)
+    trace.emit(10.0, "wormhole_activity", node=6)
+    trace.emit(20.0, "isolation", node=1, accused=5)
+    trace.emit(40.0, "isolation", node=2, accused=6)
+    report = collector.report()
+    assert report.mean_isolation_latency() == 20.0  # (10 + 30) / 2
+
+
+def test_fraction_wormhole_dropped():
+    trace, collector = make()
+    trace.emit(1.0, "data_origin", packet=("DATA", 0, 1, 1), origin=0, destination=1)
+    trace.emit(2.0, "data_origin", packet=("DATA", 0, 1, 2), origin=0, destination=1)
+    trace.emit(3.0, "malicious_drop", node=5, packet=("DATA", 0, 1, 2))
+    report = collector.report()
+    assert report.fraction_wormhole_dropped == 0.5

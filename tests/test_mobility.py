@@ -1,0 +1,235 @@
+"""Tests for the mobility extension (random waypoint + dynamic secure
+neighbor discovery)."""
+
+import random
+
+import pytest
+
+from repro.core.agent import LiteworpAgent
+from repro.core.config import LiteworpConfig
+from repro.crypto.keys import PairwiseKeyManager
+from repro.mobility.dynamic import DynamicNeighborhood
+from repro.mobility.waypoint import RandomWaypointModel, WaypointConfig
+from repro.net.radio import UnitDiskRadio, distance
+from repro.net.topology import Topology, grid_topology
+from tests.conftest import Harness
+
+
+# ----------------------------------------------------------------------
+# Random waypoint model
+# ----------------------------------------------------------------------
+def build_waypoint(n=4, side=100.0, **cfg):
+    harness = Harness(grid_topology(columns=n, rows=1, spacing=20.0, tx_range=30.0))
+    config = WaypointConfig(field_side=side, **cfg)
+    model = RandomWaypointModel(
+        harness.sim, harness.network.radio, list(range(n)), config, random.Random(7)
+    )
+    return harness, model
+
+
+def test_waypoint_moves_nodes():
+    harness, model = build_waypoint()
+    start = {n: model.position(n) for n in model.mobile_nodes}
+    model.start()
+    harness.run(30.0)
+    moved = [n for n in model.mobile_nodes if model.position(n) != start[n]]
+    assert moved
+
+
+def test_waypoint_positions_stay_in_field():
+    harness, model = build_waypoint(side=50.0, max_speed=10.0)
+    model.start()
+    for _ in range(5):
+        harness.run(harness.sim.now + 10.0)
+        for node in model.mobile_nodes:
+            x, y = model.position(node)
+            assert -1e-9 <= x <= 50.0 and -1e-9 <= y <= 50.0
+
+
+def test_waypoint_speed_bounded():
+    harness, model = build_waypoint(min_speed=2.0, max_speed=3.0, pause_time=0.0,
+                                    step_interval=1.0)
+    model.start()
+    previous = {n: model.position(n) for n in model.mobile_nodes}
+    harness.run(1.0)
+    for node in model.mobile_nodes:
+        step = distance(previous[node], model.position(node))
+        assert step <= 3.0 + 1e-9
+
+
+def test_waypoint_updates_radio():
+    harness, model = build_waypoint()
+    model.start()
+    harness.run(20.0)
+    for node in model.mobile_nodes:
+        assert harness.network.radio.position(node) == model.position(node)
+
+
+def test_waypoint_subscribers_notified():
+    harness, model = build_waypoint(pause_time=0.0)
+    events = []
+    model.subscribe(lambda node, pos: events.append(node))
+    model.start()
+    harness.run(5.0)
+    assert events
+
+
+def test_waypoint_stop_freezes():
+    harness, model = build_waypoint(pause_time=0.0)
+    model.start()
+    harness.run(5.0)
+    frozen = {n: model.position(n) for n in model.mobile_nodes}
+    model.stop()
+    harness.run(15.0)
+    assert {n: model.position(n) for n in model.mobile_nodes} == frozen
+
+
+def test_waypoint_config_validation():
+    with pytest.raises(ValueError):
+        WaypointConfig(field_side=0)
+    with pytest.raises(ValueError):
+        WaypointConfig(field_side=10, min_speed=0)
+    with pytest.raises(ValueError):
+        WaypointConfig(field_side=10, min_speed=5, max_speed=1)
+    with pytest.raises(ValueError):
+        WaypointConfig(field_side=10, step_interval=0)
+
+
+# ----------------------------------------------------------------------
+# Dynamic neighborhood
+# ----------------------------------------------------------------------
+def build_dynamic(positions, keyless=(), latency=0.3):
+    topo = Topology(positions=dict(positions), tx_range=30.0)
+    harness = Harness(topo)
+    keys = PairwiseKeyManager()
+    agents = {}
+    for node_id in topo.node_ids:
+        agent = LiteworpAgent(
+            harness.sim, harness.node(node_id), keys.enroll(node_id),
+            LiteworpConfig(), harness.trace,
+        )
+        agent.install_oracle(topo.adjacency())
+        agents[node_id] = agent
+    dyn = DynamicNeighborhood(
+        harness.sim, harness.network.radio, agents, harness.trace,
+        handshake_latency=latency, keyless=set(keyless),
+    )
+    return harness, agents, dyn
+
+
+def test_link_forms_when_node_moves_into_range():
+    positions = {0: (0.0, 0.0), 1: (100.0, 0.0)}
+    harness, agents, dyn = build_dynamic(positions)
+    assert not agents[0].table.is_neighbor(1)
+    harness.network.radio.set_position(1, (20.0, 0.0))
+    dyn.on_position_update(1, (20.0, 0.0))
+    harness.run(1.0)
+    assert agents[0].table.is_neighbor(1)
+    assert agents[1].table.is_neighbor(0)
+    assert dyn.links_formed == 1
+
+
+def test_handshake_aborts_if_node_moves_away_again():
+    positions = {0: (0.0, 0.0), 1: (100.0, 0.0)}
+    harness, agents, dyn = build_dynamic(positions, latency=0.5)
+    harness.network.radio.set_position(1, (20.0, 0.0))
+    dyn.on_position_update(1, (20.0, 0.0))
+    # Before the handshake completes, node 1 leaves again.
+    harness.run(0.2)
+    harness.network.radio.set_position(1, (100.0, 0.0))
+    dyn.on_position_update(1, (100.0, 0.0))
+    harness.run(2.0)
+    assert not agents[0].table.is_neighbor(1)
+
+
+def test_link_breaks_when_node_departs():
+    positions = {0: (0.0, 0.0), 1: (20.0, 0.0)}
+    harness, agents, dyn = build_dynamic(positions)
+    assert agents[0].table.is_neighbor(1)
+    harness.network.radio.set_position(1, (200.0, 0.0))
+    dyn.on_position_update(1, (200.0, 0.0))
+    assert not agents[0].table.is_neighbor(1)
+    assert not agents[1].table.is_neighbor(0)
+    assert dyn.links_broken == 1
+
+
+def test_keyless_node_cannot_join():
+    positions = {0: (0.0, 0.0), 9: (100.0, 0.0)}
+    harness, agents, dyn = build_dynamic(positions, keyless=(9,))
+    harness.network.radio.set_position(9, (20.0, 0.0))
+    dyn.on_position_update(9, (20.0, 0.0))
+    harness.run(2.0)
+    assert not agents[0].table.is_neighbor(9)
+    assert dyn.handshakes_rejected == 1
+
+
+def test_revocation_is_sticky_across_reentry():
+    positions = {0: (0.0, 0.0), 1: (20.0, 0.0)}
+    harness, agents, dyn = build_dynamic(positions)
+    agents[0].table.revoke(1)
+    # Node 1 leaves and comes back.
+    harness.network.radio.set_position(1, (200.0, 0.0))
+    dyn.on_position_update(1, (200.0, 0.0))
+    harness.network.radio.set_position(1, (20.0, 0.0))
+    dyn.on_position_update(1, (20.0, 0.0))
+    harness.run(2.0)
+    assert agents[0].table.is_revoked(1)
+    assert not agents[0].table.is_active_neighbor(1)
+    assert harness.trace.count("mobile_admission_refused", node=0, revoked=1) == 1
+
+
+def test_second_hop_lists_refreshed_on_link_change():
+    positions = {0: (0.0, 0.0), 1: (20.0, 0.0), 2: (40.0, 0.0)}
+    harness, agents, dyn = build_dynamic(positions)
+    # Node 2 moves next to node 0 and 1 (all mutually in range).
+    harness.network.radio.set_position(2, (10.0, 5.0))
+    dyn.on_position_update(2, (10.0, 5.0))
+    harness.run(2.0)
+    assert agents[0].table.is_neighbor(2)
+    # Node 0's stored R_2 now includes both 0 and 1.
+    reach = agents[0].table.neighbors_of(2)
+    assert reach is not None and {0, 1}.issubset(reach)
+
+
+def test_remove_neighbor_keeps_revoked_tombstone():
+    from repro.core.tables import NeighborTable
+    table = NeighborTable(owner=0)
+    table.add_neighbor(1)
+    table.revoke(1)
+    assert not table.remove_neighbor(1)
+    assert table.is_revoked(1)
+
+
+def test_full_mobile_stack_maintains_consistency():
+    """Waypoint + dynamic neighborhood on a 9-node field: tables always
+    match the radio's ground truth at quiescence (links that stabilised)."""
+    topo = grid_topology(columns=3, rows=3, spacing=25.0, tx_range=30.0)
+    harness = Harness(topo)
+    keys = PairwiseKeyManager()
+    agents = {}
+    for node_id in topo.node_ids:
+        agent = LiteworpAgent(
+            harness.sim, harness.node(node_id), keys.enroll(node_id),
+            LiteworpConfig(), harness.trace,
+        )
+        agent.install_oracle(topo.adjacency())
+        agents[node_id] = agent
+    dyn = DynamicNeighborhood(
+        harness.sim, harness.network.radio, agents, harness.trace,
+        handshake_latency=0.1,
+    )
+    model = RandomWaypointModel(
+        harness.sim, harness.network.radio, [0, 4, 8],
+        WaypointConfig(field_side=60.0, min_speed=2.0, max_speed=6.0, pause_time=1.0),
+        random.Random(3),
+    )
+    model.subscribe(dyn.on_position_update)
+    model.start()
+    harness.run(60.0)
+    model.stop()
+    harness.run(62.0)  # let pending handshakes drain
+    radio = harness.network.radio
+    for node, agent in agents.items():
+        truth = set(radio.neighbors(node))
+        believed = set(agent.table.active_neighbors())
+        assert believed == truth, (node, believed, truth)

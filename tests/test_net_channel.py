@@ -1,0 +1,217 @@
+"""Unit tests for the wireless channel: delivery, collisions, capture,
+half-duplex, ARQ outcomes, and loss notification."""
+
+import pytest
+
+from repro.net.channel import Channel
+from repro.net.packet import DataPacket, Frame
+from repro.net.radio import UnitDiskRadio
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceLog
+
+
+def build(positions, capture_ratio=0.0, ambient_loss=0.0, bandwidth=40_000.0):
+    sim = Simulator()
+    radio = UnitDiskRadio(positions, default_range=30.0)
+    trace = TraceLog()
+    channel = Channel(
+        sim, radio, RngRegistry(0), trace=trace,
+        bandwidth_bps=bandwidth, ambient_loss=ambient_loss, capture_ratio=capture_ratio,
+    )
+    inboxes = {node: [] for node in positions}
+    for node in positions:
+        channel.attach(node, inboxes[node].append)
+    return sim, channel, inboxes, trace
+
+
+def frame(tx, dst=None, size=64):
+    return Frame(packet=DataPacket(origin=tx, destination=dst or 0, payload_size=size),
+                 transmitter=tx, link_dst=dst)
+
+
+def test_delivery_to_all_in_range():
+    positions = {0: (0, 0), 1: (10, 0), 2: (20, 0), 3: (100, 0)}
+    sim, channel, inboxes, _ = build(positions)
+    channel.transmit(0, frame(0))
+    sim.run()
+    assert len(inboxes[1]) == 1
+    assert len(inboxes[2]) == 1
+    assert len(inboxes[3]) == 0  # out of range
+    assert len(inboxes[0]) == 0  # sender does not hear itself
+
+
+def test_duration_scales_with_size_and_bandwidth():
+    positions = {0: (0, 0), 1: (10, 0)}
+    sim, channel, _, _ = build(positions)
+    short = channel.duration_of(frame(0, size=40))
+    long = channel.duration_of(frame(0, size=80))
+    assert long > short
+    assert short == (40 + 12) * 8 / 40_000.0
+
+
+def test_overlapping_transmissions_collide():
+    # 0 and 2 are hidden from each other (60 m apart), 1 in the middle.
+    positions = {0: (0, 0), 1: (30, 0), 2: (60, 0)}
+    sim, channel, inboxes, trace = build(positions)
+    channel.transmit(0, frame(0))
+    channel.transmit(2, frame(2))  # same instant: both collide at node 1
+    sim.run()
+    assert inboxes[1] == []
+    assert channel.collisions >= 2
+    assert trace.count("rx_lost", receiver=1) == 2
+
+
+def test_non_overlapping_transmissions_deliver():
+    positions = {0: (0, 0), 1: (30, 0), 2: (60, 0)}
+    sim, channel, inboxes, _ = build(positions)
+    channel.transmit(0, frame(0))
+    sim.run()  # finish first transmission completely
+    channel.transmit(2, frame(2))
+    sim.run()
+    assert len(inboxes[1]) == 2
+
+
+def test_capture_effect_saves_closer_signal():
+    # Node 1 at 5 m from sender 0, interferer 2 at 29 m from node 1.
+    positions = {0: (0, 0), 1: (5, 0), 2: (34, 0)}
+    sim, channel, inboxes, _ = build(positions, capture_ratio=1.5)
+    channel.transmit(0, frame(0))
+    channel.transmit(2, frame(2))
+    sim.run()
+    # 0's signal at 5 m vs interference from 29 m: 5 * 1.5 <= 29 -> captured.
+    assert len(inboxes[1]) == 1
+    assert inboxes[1][0].transmitter == 0
+
+
+def test_capture_requires_sufficient_ratio():
+    positions = {0: (0, 0), 1: (14, 0), 2: (30, 0)}
+    sim, channel, inboxes, _ = build(positions, capture_ratio=1.5)
+    channel.transmit(0, frame(0))
+    channel.transmit(2, frame(2))
+    sim.run()
+    # 14 * 1.5 = 21 > 16 (distance 2->1): no capture, both die at node 1.
+    assert inboxes[1] == []
+
+
+def test_half_duplex_receiver_misses_frame():
+    positions = {0: (0, 0), 1: (10, 0)}
+    sim, channel, inboxes, _ = build(positions)
+    channel.transmit(1, frame(1))  # node 1 is busy transmitting
+    channel.transmit(0, frame(0))
+    sim.run()
+    assert inboxes[1] == []
+
+
+def test_transmitting_kills_own_inflight_receptions():
+    positions = {0: (0, 0), 1: (10, 0)}
+    sim, channel, inboxes, _ = build(positions)
+    channel.transmit(0, frame(0))
+    # Node 1 starts transmitting mid-reception.
+    sim.schedule(0.001, channel.transmit, 1, frame(1))
+    sim.run()
+    assert inboxes[1] == []
+
+
+def test_is_busy_during_transmission_and_reception():
+    positions = {0: (0, 0), 1: (10, 0), 2: (100, 0)}
+    sim, channel, _, _ = build(positions)
+    assert not channel.is_busy(0)
+    channel.transmit(0, frame(0))
+    assert channel.is_busy(0)  # transmitting
+    assert channel.is_busy(1)  # receiving
+    assert not channel.is_busy(2)  # far away
+    sim.run()
+    assert not channel.is_busy(0)
+    assert not channel.is_busy(1)
+
+
+def test_ambient_loss_drops_some_receptions():
+    positions = {0: (0, 0), 1: (10, 0)}
+    sim, channel, inboxes, _ = build(positions, ambient_loss=0.5)
+    for _ in range(100):
+        channel.transmit(0, frame(0))
+        sim.run()
+    assert 20 < len(inboxes[1]) < 80
+
+
+def test_unicast_outcome_success():
+    positions = {0: (0, 0), 1: (10, 0)}
+    sim, channel, _, _ = build(positions)
+    outcomes = []
+    channel.transmit(0, frame(0, dst=1), on_unicast_outcome=outcomes.append)
+    sim.run()
+    assert outcomes == [True]
+
+
+def test_unicast_outcome_failure_on_collision():
+    positions = {0: (0, 0), 1: (30, 0), 2: (60, 0)}
+    sim, channel, _, _ = build(positions)
+    outcomes = []
+    channel.transmit(0, frame(0, dst=1), on_unicast_outcome=outcomes.append)
+    channel.transmit(2, frame(2))
+    sim.run()
+    assert outcomes == [False]
+
+
+def test_unicast_outcome_failure_when_out_of_range():
+    positions = {0: (0, 0), 1: (100, 0)}
+    sim, channel, _, _ = build(positions)
+    outcomes = []
+    channel.transmit(0, frame(0, dst=1), on_unicast_outcome=outcomes.append)
+    sim.run()
+    assert outcomes == [False]
+
+
+def test_loss_handler_notified_on_collision():
+    positions = {0: (0, 0), 1: (30, 0), 2: (60, 0)}
+    sim, channel, _, _ = build(positions)
+    losses = []
+    channel.attach_loss_handler(1, losses.append)
+    channel.transmit(0, frame(0))
+    channel.transmit(2, frame(2))
+    sim.run()
+    assert len(losses) == 2
+
+
+def test_loss_handler_not_notified_on_success():
+    positions = {0: (0, 0), 1: (10, 0)}
+    sim, channel, _, _ = build(positions)
+    losses = []
+    channel.attach_loss_handler(1, losses.append)
+    channel.transmit(0, frame(0))
+    sim.run()
+    assert losses == []
+
+
+def test_tx_observer_sees_every_transmission():
+    positions = {0: (0, 0), 1: (10, 0)}
+    sim, channel, _, _ = build(positions)
+    seen = []
+    channel.add_tx_observer(lambda sender, fr, t: seen.append((sender, fr.packet.key())))
+    f = frame(0)
+    channel.transmit(0, f)
+    sim.run()
+    assert seen == [(0, f.packet.key())]
+
+
+def test_transmission_counter():
+    positions = {0: (0, 0), 1: (10, 0)}
+    sim, channel, _, _ = build(positions)
+    channel.transmit(0, frame(0))
+    sim.run()
+    channel.transmit(1, frame(1))
+    sim.run()
+    assert channel.transmissions == 2
+
+
+def test_invalid_construction_params():
+    positions = {0: (0, 0)}
+    radio = UnitDiskRadio(positions, 30.0)
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Channel(sim, radio, RngRegistry(0), bandwidth_bps=0)
+    with pytest.raises(ValueError):
+        Channel(sim, radio, RngRegistry(0), ambient_loss=1.0)
+    with pytest.raises(ValueError):
+        Channel(sim, radio, RngRegistry(0), capture_ratio=-1)

@@ -1,0 +1,97 @@
+"""Unit tests for the energy model."""
+
+import pytest
+
+from repro.net.energy import EnergyConfig, EnergyMeter
+from repro.net.packet import DataPacket
+from repro.net.topology import grid_topology
+from tests.conftest import Harness
+
+
+def build(n=3, config=None):
+    harness = Harness(grid_topology(columns=n, rows=1, spacing=25.0, tx_range=30.0))
+    meter = EnergyMeter(harness.network.channel, harness.network.radio, config)
+    return harness, meter
+
+
+def test_transmission_charges_sender():
+    harness, meter = build()
+    harness.node(0).broadcast(DataPacket(origin=0, destination=1), jitter=0.0)
+    harness.run(1.0)
+    assert meter.tx_joules.get(0, 0.0) > 0
+    assert meter.tx_joules.get(1, 0.0) == 0
+
+
+def test_reception_charges_all_hearers():
+    harness, meter = build()
+    harness.node(1).broadcast(DataPacket(origin=1, destination=0), jitter=0.0)
+    harness.run(1.0)
+    # Both neighbors of node 1 paid to listen.
+    assert meter.rx_joules.get(0, 0.0) > 0
+    assert meter.rx_joules.get(2, 0.0) > 0
+
+
+def test_tx_energy_grows_with_range():
+    config = EnergyConfig()
+    assert config.tx_energy(1000, 60.0) > config.tx_energy(1000, 30.0)
+
+
+def test_tx_energy_formula():
+    config = EnergyConfig(electronics_j_per_bit=1e-9, amplifier_j_per_bit_m2=1e-12)
+    assert config.tx_energy(8, 10.0) == pytest.approx(8 * (1e-9 + 1e-12 * 100.0))
+
+
+def test_rx_energy_independent_of_range():
+    config = EnergyConfig()
+    assert config.rx_energy(800) == 800 * config.electronics_j_per_bit
+
+
+def test_overhearing_costs_same_as_reception():
+    """Unicasts charge every in-range node, not just the destination —
+    the true cost of promiscuous monitoring."""
+    harness, meter = build()
+    harness.node(1).unicast(DataPacket(origin=1, destination=0), next_hop=0, jitter=0.0)
+    harness.run(1.0)
+    assert meter.rx_joules.get(2, 0.0) == pytest.approx(meter.rx_joules.get(0, 0.0))
+
+
+def test_collided_receptions_still_cost_energy():
+    harness, meter = build()
+    # Nodes 0 and 2 are hidden from each other; both transmit at node 1.
+    harness.network.channel.transmit(
+        0, __frame(0)
+    )
+    harness.network.channel.transmit(2, __frame(2))
+    harness.run(1.0)
+    assert meter.rx_joules.get(1, 0.0) > 0
+
+
+def __frame(tx):
+    from repro.net.packet import Frame
+    return Frame(packet=DataPacket(origin=tx, destination=9), transmitter=tx)
+
+
+def test_totals_and_breakdown():
+    harness, meter = build()
+    harness.node(0).broadcast(DataPacket(origin=0, destination=1), jitter=0.0)
+    harness.run(1.0)
+    breakdown = meter.breakdown()
+    assert breakdown["total"] == pytest.approx(breakdown["tx"] + breakdown["rx"])
+    assert meter.total() == pytest.approx(breakdown["total"])
+    assert meter.consumed(0) == pytest.approx(meter.tx_joules[0])
+
+
+def test_idle_energy():
+    config = EnergyConfig(idle_w=0.001)
+    harness, meter = build(config=config)
+    harness.run(10.0)
+    assert meter.total_with_idle(10.0, 3) == pytest.approx(0.001 * 10.0 * 3)
+    with pytest.raises(ValueError):
+        meter.total_with_idle(-1.0, 3)
+
+
+def test_invalid_config():
+    with pytest.raises(ValueError):
+        EnergyConfig(electronics_j_per_bit=-1)
+    with pytest.raises(ValueError):
+        EnergyConfig(idle_w=-1)

@@ -1,0 +1,67 @@
+"""Unit tests for network assembly."""
+
+import pytest
+
+from repro.net.network import Network, NetworkConfig
+from repro.net.topology import grid_topology
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+
+def build():
+    topo = grid_topology(columns=3, rows=1, spacing=25.0, tx_range=30.0)
+    return Network(Simulator(), topo, RngRegistry(0)), topo
+
+
+def test_one_node_per_placement():
+    network, topo = build()
+    assert set(network.node_ids()) == set(topo.node_ids)
+    for node_id in topo.node_ids:
+        assert network.node(node_id).position == topo.positions[node_id]
+
+
+def test_neighbors_match_topology():
+    network, topo = build()
+    assert set(network.neighbors(1)) == {0, 2}
+
+
+def test_common_neighbors():
+    network, _ = build()
+    assert set(network.common_neighbors(0, 2)) == {1}
+
+
+def test_frames_flow_between_nodes():
+    network, _ = build()
+    from repro.net.packet import HelloPacket
+    seen = []
+    network.node(1).add_listener(seen.append)
+    network.node(0).broadcast(HelloPacket(sender=0), jitter=0.0)
+    network.sim.run()
+    assert len(seen) == 1
+
+
+def test_set_high_power_extends_reach():
+    network, _ = build()
+    from repro.net.packet import HelloPacket
+    seen = []
+    network.node(2).add_listener(seen.append)
+    network.set_high_power(0, 2.0)
+    network.node(0).broadcast(
+        HelloPacket(sender=0), jitter=0.0, tx_range=network.radio.tx_range(0)
+    )
+    network.sim.run()
+    assert len(seen) == 1  # 50 m away but high-power reaches 60 m
+
+
+def test_set_high_power_invalid():
+    network, _ = build()
+    with pytest.raises(ValueError):
+        network.set_high_power(0, 0)
+
+
+def test_emit_stamps_time():
+    network, _ = build()
+    network.sim.schedule(2.0, network.emit, "checkpoint", foo=1)
+    network.sim.run()
+    record = network.trace.first("checkpoint")
+    assert record is not None and record.time == 2.0 and record["foo"] == 1

@@ -1,0 +1,100 @@
+"""Unit tests for the node pipeline (observers, filters, listeners)."""
+
+from repro.net.packet import DataPacket, Frame
+from tests.conftest import Harness
+from repro.net.topology import grid_topology
+
+
+def build_pair():
+    harness = Harness(grid_topology(columns=2, rows=1, spacing=10.0, tx_range=30.0))
+    return harness, harness.node(0), harness.node(1)
+
+
+def make_frame(tx=0, dst=None):
+    return Frame(packet=DataPacket(origin=tx, destination=9), transmitter=tx, link_dst=dst)
+
+
+def test_listener_receives_accepted_frame():
+    harness, a, b = build_pair()
+    seen = []
+    b.add_listener(seen.append)
+    a.broadcast(DataPacket(origin=0, destination=9), jitter=0.0)
+    harness.run(1.0)
+    assert len(seen) == 1
+
+
+def test_filter_rejects_frame():
+    harness, a, b = build_pair()
+    seen = []
+    b.add_filter(lambda frame: False)
+    b.add_listener(seen.append)
+    a.broadcast(DataPacket(origin=0, destination=9), jitter=0.0)
+    harness.run(1.0)
+    assert seen == []
+    assert b.frames_rejected == 1
+
+
+def test_observer_sees_rejected_frames():
+    harness, a, b = build_pair()
+    observed = []
+    b.add_filter(lambda frame: False)
+    b.add_observer(observed.append)
+    a.broadcast(DataPacket(origin=0, destination=9), jitter=0.0)
+    harness.run(1.0)
+    assert len(observed) == 1
+
+
+def test_filters_run_in_order_and_short_circuit():
+    harness, a, b = build_pair()
+    calls = []
+    b.add_filter(lambda f: (calls.append("first"), False)[1])
+    b.add_filter(lambda f: (calls.append("second"), True)[1])
+    a.broadcast(DataPacket(origin=0, destination=9), jitter=0.0)
+    harness.run(1.0)
+    assert calls == ["first"]
+
+
+def test_send_filter_vetoes_transmission():
+    harness, a, b = build_pair()
+    seen = []
+    b.add_listener(seen.append)
+    a.add_send_filter(lambda frame: False)
+    sent = a.broadcast(DataPacket(origin=0, destination=9), jitter=0.0)
+    harness.run(1.0)
+    assert not sent
+    assert seen == []
+
+
+def test_unicast_sets_link_dst():
+    harness, a, b = build_pair()
+    seen = []
+    b.add_listener(seen.append)
+    a.unicast(DataPacket(origin=0, destination=1), next_hop=1, prev_hop=None, jitter=0.0)
+    harness.run(1.0)
+    assert seen[0].link_dst == 1
+
+
+def test_broadcast_carries_prev_hop():
+    harness, a, b = build_pair()
+    seen = []
+    b.add_listener(seen.append)
+    a.broadcast(DataPacket(origin=0, destination=9), prev_hop=5, jitter=0.0)
+    harness.run(1.0)
+    assert seen[0].prev_hop == 5
+
+
+def test_raw_send_preserves_spoofed_transmitter():
+    harness, a, b = build_pair()
+    seen = []
+    b.add_listener(seen.append)
+    spoofed = Frame(packet=DataPacket(origin=7, destination=9), transmitter=7)
+    a.raw_send(spoofed, jitter=0.0)
+    harness.run(1.0)
+    assert seen[0].transmitter == 7  # header claims node 7, not node 0
+
+
+def test_frames_received_counter():
+    harness, a, b = build_pair()
+    a.broadcast(DataPacket(origin=0, destination=9), jitter=0.0)
+    harness.run(1.0)
+    assert b.frames_received == 1

@@ -1,0 +1,116 @@
+"""Unit tests for packet and frame definitions."""
+
+from repro.net.packet import (
+    AlertPacket,
+    DataPacket,
+    Frame,
+    HelloPacket,
+    HelloReplyPacket,
+    NeighborListPacket,
+    RouteErrorPacket,
+    RouteReply,
+    RouteRequest,
+)
+
+
+def test_request_key_stable_across_hops():
+    request = RouteRequest(origin=1, request_id=5, target=9, hop_count=0, path=(1,))
+    forwarded = request.forwarded_by(4)
+    assert request.key() == forwarded.key()
+    assert forwarded.hop_count == 1
+    assert forwarded.path == (1, 4)
+
+
+def test_request_keys_distinguish_discoveries():
+    a = RouteRequest(origin=1, request_id=5, target=9)
+    b = RouteRequest(origin=1, request_id=6, target=9)
+    c = RouteRequest(origin=2, request_id=5, target=9)
+    assert a.key() != b.key()
+    assert a.key() != c.key()
+
+
+def test_reply_key_matches_request_family():
+    request = RouteRequest(origin=1, request_id=5, target=9)
+    reply = RouteReply(origin=1, request_id=5, target=9)
+    assert reply.key()[1:] == request.key()[1:]
+    assert reply.key()[0] == "REP"
+
+
+def test_data_key_includes_sequence():
+    a = DataPacket(origin=1, destination=2, flow_id=2, sequence=1)
+    b = DataPacket(origin=1, destination=2, flow_id=2, sequence=2)
+    assert a.key() != b.key()
+
+
+def test_data_is_not_control():
+    assert not DataPacket().is_control
+    assert RouteRequest().is_control
+    assert RouteReply().is_control
+
+
+def test_uids_unique():
+    packets = [HelloPacket(sender=i) for i in range(10)]
+    assert len({p.uid for p in packets}) == 10
+
+
+def test_neighbor_list_auth_lookup():
+    packet = NeighborListPacket(sender=1, neighbors=(2, 3), auths=((2, b"t2"), (3, b"t3")))
+    assert packet.auth_for(2) == b"t2"
+    assert packet.auth_for(4) is None
+
+
+def test_neighbor_list_size_scales():
+    small = NeighborListPacket(sender=1, neighbors=(2,), auths=((2, b"t"),))
+    large = NeighborListPacket(
+        sender=1, neighbors=tuple(range(2, 12)), auths=tuple((i, b"t") for i in range(2, 12))
+    )
+    assert large.size_bytes > small.size_bytes
+
+
+def test_route_error_carries_inner_key():
+    reply = RouteReply(origin=1, request_id=2, target=3)
+    rerr = RouteErrorPacket(reporter=5, inner_key=reply.key())
+    assert rerr.inner_key == reply.key()
+    assert rerr.key()[0] == "RERR"
+
+
+def test_frame_broadcast_vs_unicast():
+    packet = HelloPacket(sender=1)
+    broadcast = Frame(packet=packet, transmitter=1)
+    unicast = Frame(packet=packet, transmitter=1, link_dst=2)
+    assert broadcast.is_broadcast
+    assert not unicast.is_broadcast
+
+
+def test_frame_size_adds_header():
+    packet = DataPacket(payload_size=64)
+    frame = Frame(packet=packet, transmitter=1)
+    assert frame.size_bytes == 64 + 12
+
+
+def test_frame_describe_fields():
+    frame = Frame(
+        packet=RouteRequest(origin=1, request_id=2, target=3),
+        transmitter=7,
+        link_dst=None,
+        prev_hop=6,
+    )
+    d = frame.describe()
+    assert d["tx"] == 7
+    assert d["prev"] == 6
+    assert d["dst"] is None
+    assert d["packet"][0] == "REQ"
+
+
+def test_all_packets_have_positive_size():
+    for packet in (
+        HelloPacket(),
+        HelloReplyPacket(),
+        NeighborListPacket(),
+        RouteRequest(),
+        RouteReply(),
+        DataPacket(),
+        AlertPacket(),
+        RouteErrorPacket(),
+    ):
+        assert packet.size_bytes > 0

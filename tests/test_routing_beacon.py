@@ -1,0 +1,158 @@
+"""Tests for the TinyOS-style beacon-tree routing and its wormhole."""
+
+import pytest
+
+from repro.core.agent import LiteworpAgent
+from repro.core.config import LiteworpConfig
+from repro.crypto.keys import PairwiseKeyManager
+from repro.net.topology import grid_topology
+from repro.routing.beacon import (
+    BeaconConfig,
+    BeaconPacket,
+    BeaconTreeRouting,
+    WormholeBeaconRouting,
+)
+from tests.conftest import Harness
+
+SINK = 0
+
+
+def build_tree(columns=5, rows=1, wormhole=(), liteworp=False, spacing=25.0):
+    harness = Harness(grid_topology(columns=columns, rows=rows, spacing=spacing,
+                                    tx_range=30.0))
+    config = BeaconConfig(beacon_interval=5.0)
+    keys = PairwiseKeyManager()
+    adjacency = harness.topology.adjacency()
+    routers = {}
+    agents = {}
+    wormhole_agents = []
+    for node_id in harness.topology.node_ids:
+        node = harness.node(node_id)
+        rng = harness.rng.stream(f"beacon:{node_id}")
+        if node_id in wormhole:
+            router = WormholeBeaconRouting(
+                harness.sim, node, config, harness.trace, rng, SINK,
+                network=harness.network,
+            )
+            wormhole_agents.append(router)
+        else:
+            if liteworp:
+                agent = LiteworpAgent(
+                    harness.sim, node, keys.enroll(node_id), LiteworpConfig(),
+                    harness.trace,
+                )
+                agent.install_oracle(adjacency)
+                agents[node_id] = agent
+                harness.network.channel.attach_loss_handler(
+                    node_id, agent.monitor.note_reception_loss
+                )
+            router = BeaconTreeRouting(harness.sim, node, config, harness.trace,
+                                       rng, SINK)
+            if liteworp:
+                router.usable = agents[node_id].is_usable
+        routers[node_id] = router
+    if len(wormhole_agents) == 2:
+        wormhole_agents[0].pair_with(wormhole_agents[1])
+    routers[SINK].start()
+    return harness, routers, agents, wormhole_agents
+
+
+def test_tree_forms_with_correct_depths():
+    harness, routers, _, _ = build_tree(columns=5)
+    harness.run(8.0)
+    for node_id in range(1, 5):
+        assert routers[node_id].parent == node_id - 1
+        assert routers[node_id].depth == node_id
+
+
+def test_readings_climb_to_sink():
+    harness, routers, _, _ = build_tree(columns=5)
+    harness.run(8.0)
+    routers[4].send_reading()
+    harness.run(12.0)
+    assert harness.trace.count("data_delivered", destination=SINK) == 1
+
+
+def test_reading_without_parent_fails_gracefully():
+    harness, routers, _, _ = build_tree(columns=3)
+    # No beacon epoch yet: node 2 has no parent.
+    assert routers[2].send_reading() is None
+    assert harness.trace.count("data_no_route", node=2) == 1
+
+
+def test_sink_does_not_send_readings():
+    harness, routers, _, _ = build_tree(columns=3)
+    with pytest.raises(ValueError):
+        routers[SINK].send_reading()
+
+
+def test_parent_refreshes_each_epoch():
+    harness, routers, _, _ = build_tree(columns=3)
+    harness.run(18.0)  # several epochs
+    parents = [rec for rec in harness.trace.of_kind("beacon_parent")
+               if rec["node"] == 2]
+    assert len(parents) >= 3
+
+
+def test_beacon_config_validation():
+    with pytest.raises(ValueError):
+        BeaconConfig(beacon_interval=0)
+    with pytest.raises(ValueError):
+        BeaconConfig(forward_jitter=-1)
+
+
+def test_beacon_packet_key_per_epoch():
+    a = BeaconPacket(sink=0, epoch=1, hop_count=0)
+    b = BeaconPacket(sink=0, epoch=2, hop_count=0)
+    assert a.key() != b.key()
+    assert a.forwarded().key() == a.key()
+    assert a.forwarded().hop_count == 1
+
+
+def test_wormhole_captures_distant_subtree():
+    """Near end at node 1 (beside the sink), far end at node 8 of a long
+    line: distant nodes adopt the wormhole's replayed beacon."""
+    harness, routers, _, wa = build_tree(columns=10, wormhole=(1, 8))
+    wa[0].activate()
+    wa[1].activate()
+    harness.run(12.0)
+    # Node 9 heard the replayed beacon from node 8 claiming a tiny depth.
+    assert routers[9].parent == 8
+    assert routers[9].depth is not None and routers[9].depth <= 4
+
+
+def test_wormhole_swallows_readings():
+    harness, routers, _, wa = build_tree(columns=10, wormhole=(1, 8))
+    wa[0].activate()
+    wa[1].activate()
+    harness.run(12.0)
+    routers[9].send_reading()
+    harness.run(16.0)
+    assert harness.trace.count("malicious_drop") >= 1
+    assert harness.trace.count("data_delivered", destination=SINK) == 0
+
+
+def test_honest_before_activation():
+    harness, routers, _, wa = build_tree(columns=10, wormhole=(1, 8))
+    harness.run(12.0)  # never activated
+    routers[9].send_reading()
+    harness.run(16.0)
+    assert harness.trace.count("malicious_drop") == 0
+    assert harness.trace.count("data_delivered", destination=SINK) == 1
+
+
+def test_liteworp_guards_detect_beacon_wormhole():
+    """The far end's forged previous hop is a fabrication: with LITEWORP
+    on a dense field the guards accuse it."""
+    harness, routers, agents, wa = build_tree(
+        columns=4, rows=4, spacing=20.0, wormhole=(5, 10), liteworp=True
+    )
+    wa[0].activate()
+    wa[1].activate()
+    harness.run(60.0)
+    detected = {
+        rec["accused"]
+        for rec in harness.trace.of_kind("guard_detection")
+        if rec["accused"] in (5, 10)
+    }
+    assert detected

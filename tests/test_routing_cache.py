@@ -1,0 +1,72 @@
+"""Unit tests for the route cache."""
+
+import pytest
+
+from repro.routing.cache import RouteTable
+
+
+def test_install_and_lookup():
+    table = RouteTable(timeout=50.0)
+    entry = table.install(destination=9, next_hop=3, now=10.0, hop_count=4)
+    assert table.lookup(9, now=10.0) is entry
+    assert entry.next_hop == 3
+    assert entry.expires_at == 60.0
+
+
+def test_lookup_missing():
+    table = RouteTable(timeout=50.0)
+    assert table.lookup(9, now=0.0) is None
+
+
+def test_expired_entry_removed_on_lookup():
+    table = RouteTable(timeout=50.0)
+    table.install(destination=9, next_hop=3, now=0.0)
+    assert table.lookup(9, now=49.9) is not None
+    assert table.lookup(9, now=50.0) is None
+    assert len(table) == 0
+
+
+def test_reinstall_replaces_entry():
+    table = RouteTable(timeout=50.0)
+    table.install(destination=9, next_hop=3, now=0.0)
+    table.install(destination=9, next_hop=4, now=10.0)
+    entry = table.lookup(9, now=20.0)
+    assert entry is not None and entry.next_hop == 4
+    assert entry.expires_at == 60.0
+
+
+def test_evict():
+    table = RouteTable(timeout=50.0)
+    table.install(destination=9, next_hop=3, now=0.0)
+    table.evict(9)
+    assert table.lookup(9, now=1.0) is None
+    table.evict(9)  # idempotent
+
+
+def test_evict_via_next_hop():
+    table = RouteTable(timeout=50.0)
+    table.install(destination=9, next_hop=3, now=0.0)
+    table.install(destination=8, next_hop=3, now=0.0)
+    table.install(destination=7, next_hop=4, now=0.0)
+    evicted = table.evict_via(3)
+    assert evicted == 2
+    assert table.lookup(9, now=1.0) is None
+    assert table.lookup(7, now=1.0) is not None
+
+
+def test_destinations():
+    table = RouteTable(timeout=50.0)
+    table.install(destination=9, next_hop=3, now=0.0)
+    assert table.destinations() == (9,)
+
+
+def test_entry_fresh():
+    table = RouteTable(timeout=10.0)
+    entry = table.install(destination=1, next_hop=2, now=5.0)
+    assert entry.fresh(14.9)
+    assert not entry.fresh(15.0)
+
+
+def test_invalid_timeout():
+    with pytest.raises(ValueError):
+        RouteTable(timeout=0)

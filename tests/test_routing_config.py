@@ -1,0 +1,37 @@
+"""Unit tests for routing configuration validation."""
+
+import pytest
+
+from repro.routing.config import RoutingConfig
+
+
+def test_defaults_valid():
+    config = RoutingConfig()
+    assert config.metric == "shortest"
+    assert config.route_timeout == 50.0  # Table 2 TOut_Route
+
+
+def test_first_metric_allowed():
+    assert RoutingConfig(metric="first").metric == "first"
+
+
+def test_unknown_metric_rejected():
+    with pytest.raises(ValueError):
+        RoutingConfig(metric="fastest")
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"reply_window": -0.1},
+        {"route_timeout": 0},
+        {"request_timeout": 0},
+        {"max_retries": 0},
+        {"queue_capacity": 0},
+        {"forward_jitter": -1},
+        {"suppression_threshold": -1},
+    ],
+)
+def test_invalid_values_rejected(kwargs):
+    with pytest.raises(ValueError):
+        RoutingConfig(**kwargs)

@@ -1,0 +1,204 @@
+"""Protocol tests for on-demand routing over the simulated channel."""
+
+import pytest
+
+from repro.net.topology import grid_topology
+from repro.routing.config import RoutingConfig
+from repro.routing.ondemand import OnDemandRouting
+from tests.conftest import Harness
+
+
+def build_line(n=5, metric="shortest", **routing_kwargs):
+    harness = Harness(grid_topology(columns=n, rows=1, spacing=25.0, tx_range=30.0))
+    config = RoutingConfig(metric=metric, **routing_kwargs)
+    routers = {
+        node_id: OnDemandRouting(
+            harness.sim,
+            harness.node(node_id),
+            config,
+            harness.trace,
+            harness.rng.stream(f"routing:{node_id}"),
+        )
+        for node_id in harness.topology.node_ids
+    }
+    return harness, routers
+
+
+def test_discovery_establishes_route():
+    harness, routers = build_line()
+    routers[0].send_data(4)
+    harness.run(10.0)
+    record = harness.trace.first("route_established", origin=0, target=4)
+    assert record is not None
+    assert record["hop_count"] == 4
+    assert routers[0].has_route(4)
+
+
+def test_data_delivered_end_to_end():
+    harness, routers = build_line()
+    routers[0].send_data(4)
+    harness.run(10.0)
+    assert harness.trace.count("data_delivered", destination=4) == 1
+
+
+def test_queued_data_flushed_after_discovery():
+    harness, routers = build_line()
+    for _ in range(3):
+        routers[0].send_data(4)
+    harness.run(10.0)
+    assert harness.trace.count("data_delivered", destination=4) == 3
+    # Only one discovery was needed.
+    assert harness.trace.count("route_request_sent", origin=0) == 1
+
+
+def test_cached_route_reused_without_new_discovery():
+    harness, routers = build_line()
+    routers[0].send_data(4)
+    harness.run(10.0)
+    requests_before = harness.trace.count("route_request_sent", origin=0)
+    routers[0].send_data(4)
+    harness.run(20.0)
+    assert harness.trace.count("route_request_sent", origin=0) == requests_before
+    assert harness.trace.count("data_delivered", destination=4) == 2
+
+
+def test_route_expires_after_timeout():
+    harness, routers = build_line(route_timeout=30.0)
+    routers[0].send_data(4)
+    harness.run(10.0)
+    assert routers[0].has_route(4)
+    harness.run(45.0)
+    assert not routers[0].has_route(4)
+    # A new data packet triggers a fresh discovery.
+    routers[0].send_data(4)
+    harness.run(55.0)
+    assert harness.trace.count("route_request_sent", origin=0) == 2
+
+
+def test_intermediate_nodes_install_forward_routes():
+    harness, routers = build_line()
+    routers[0].send_data(4)
+    harness.run(10.0)
+    for intermediate in (1, 2, 3):
+        assert routers[intermediate].has_route(4)
+
+
+def test_discovery_to_unreachable_node_fails_gracefully():
+    harness = Harness(grid_topology(columns=3, rows=1, spacing=25.0, tx_range=30.0))
+    # Add an isolated node far away.
+    harness.topology.positions[99] = (10_000.0, 10_000.0)
+    config = RoutingConfig(request_timeout=1.0, max_retries=2)
+    routers = {
+        node_id: OnDemandRouting(
+            harness.sim, harness.node(node_id), config, harness.trace,
+            harness.rng.stream(f"routing:{node_id}"),
+        )
+        for node_id in (0, 1, 2)
+    }
+    routers[0].send_data(99)
+    harness.run(30.0)
+    assert harness.trace.count("data_discovery_failed", reason="no_route") == 1
+    assert harness.trace.count("route_request_sent", origin=0) == 2  # retried
+
+
+def test_queue_capacity_drops_oldest():
+    harness = Harness(grid_topology(columns=2, rows=1, spacing=1000.0, tx_range=30.0))
+    config = RoutingConfig(queue_capacity=2, request_timeout=60.0)
+    router = OnDemandRouting(
+        harness.sim, harness.node(0), config, harness.trace, harness.rng.stream("r")
+    )
+    for _ in range(4):
+        router.send_data(1)
+    assert harness.trace.count("data_discovery_failed", reason="queue_full") == 2
+
+
+def test_duplicate_requests_not_reforwarded():
+    harness, routers = build_line(n=4)
+    routers[0].send_data(3)
+    harness.run(10.0)
+    # Each intermediate node forwarded the request at most once.
+    reqs_by_1 = [
+        rec for rec in harness.trace.of_kind("rx_lost")
+    ]  # sanity placeholder: check via seen set instead
+    assert ("REQ", 0, 1) in routers[1]._seen_requests  # noqa: SLF001 - protocol state
+    # Sending again within cache lifetime creates no further discovery.
+    assert harness.trace.count("route_request_sent", origin=0) == 1
+
+
+def test_send_data_to_self_rejected():
+    harness, routers = build_line(n=2)
+    with pytest.raises(ValueError):
+        routers[0].send_data(0)
+
+
+def test_shortest_metric_prefers_fewer_hops():
+    """Destination with two request copies replies to the lower hop count."""
+    harness, routers = build_line(n=5, metric="shortest", reply_window=0.5)
+    routers[0].send_data(4)
+    harness.run(10.0)
+    record = harness.trace.first("route_established", origin=0)
+    assert record is not None
+    assert record["hop_count"] == 4  # the line has a unique 4-hop path
+
+
+def test_first_metric_replies_immediately():
+    harness, routers = build_line(n=3, metric="first")
+    routers[0].send_data(2)
+    harness.run(5.0)
+    assert harness.trace.first("route_established", origin=0) is not None
+
+
+def test_usable_hook_blocks_next_hop_at_intermediate():
+    harness, routers = build_line(n=3)
+    routers[0].send_data(2)
+    harness.run(10.0)
+    assert harness.trace.count("data_delivered", destination=2) == 1
+    # Node 1 (the only intermediate) now refuses to use node 2.
+    routers[1].usable = lambda n: n != 2
+    routers[0].send_data(2)
+    harness.run(20.0)
+    assert harness.trace.count("data_delivered", destination=2) == 1  # unchanged
+    assert harness.trace.count("data_blocked", node=1) == 1
+
+
+def test_usable_hook_triggers_rediscovery_at_origin():
+    harness, routers = build_line(n=3)
+    routers[0].send_data(2)
+    harness.run(10.0)
+    requests_before = harness.trace.count("route_request_sent", origin=0)
+    # The origin refuses its cached next hop: it must re-discover.
+    routers[0].usable = lambda n: n != 1
+    routers[0].send_data(2)
+    harness.run(20.0)
+    assert harness.trace.count("route_request_sent", origin=0) > requests_before
+
+
+def test_suppression_reduces_rebroadcasts():
+    dense = Harness(grid_topology(columns=4, rows=4, spacing=10.0, tx_range=30.0))
+    results = {}
+    for threshold in (0, 1):
+        harness = Harness(grid_topology(columns=4, rows=4, spacing=10.0, tx_range=30.0))
+        config = RoutingConfig(suppression_threshold=threshold)
+        routers = {
+            node_id: OnDemandRouting(
+                harness.sim, harness.node(node_id), config, harness.trace,
+                harness.rng.stream(f"routing:{node_id}"),
+            )
+            for node_id in harness.topology.node_ids
+        }
+        routers[0].send_data(15)
+        harness.run(10.0)
+        results[threshold] = harness.network.channel.transmissions
+    assert results[1] < results[0]
+
+
+def test_route_error_broadcast_when_reply_stranded():
+    harness, routers = build_line(n=3)
+    routers[0].send_data(2)
+    harness.run(10.0)
+    # Simulate: node 1 receives a reply for an unknown discovery.
+    from repro.net.packet import Frame, RouteReply
+    ghost = RouteReply(origin=0, request_id=77, target=2, hop_count=1, path=(0, 2))
+    routers[1]._on_reply(Frame(packet=ghost, transmitter=2, link_dst=1), ghost)  # noqa: SLF001
+    harness.run(12.0)
+    assert harness.trace.count("rep_stranded", node=1) == 1

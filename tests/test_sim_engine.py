@@ -1,0 +1,207 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, fired.append, "late")
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(3.0, fired.append, "last")
+    sim.run()
+    assert fired == ["early", "late", "last"]
+
+
+def test_ties_fire_in_fifo_order():
+    sim = Simulator()
+    fired = []
+    for tag in ("a", "b", "c"):
+        sim.schedule(1.0, fired.append, tag)
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [1.5]
+    assert sim.now == 1.5
+
+
+def test_run_until_is_inclusive():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, fired.append, "at-horizon")
+    sim.schedule(2.0001, fired.append, "after-horizon")
+    sim.run(until=2.0)
+    assert fired == ["at-horizon"]
+    assert sim.now == 2.0
+
+
+def test_run_until_advances_clock_even_without_events():
+    sim = Simulator()
+    sim.run(until=7.0)
+    assert sim.now == 7.0
+
+
+def test_events_after_horizon_survive_for_next_run():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, fired.append, "later")
+    sim.run(until=1.0)
+    assert fired == []
+    sim.run(until=10.0)
+    assert fired == ["later"]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, "nope")
+    event.cancel()
+    sim.run()
+    assert fired == []
+    assert event.cancelled
+    assert not event.fired
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert event.cancelled
+
+
+def test_cancel_after_fire_is_noop():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.run()
+    event.cancel()
+    assert event.fired
+    assert not event.cancelled
+
+
+def test_events_can_schedule_more_events():
+    sim = Simulator()
+    fired = []
+
+    def chain(depth):
+        fired.append(depth)
+        if depth < 3:
+            sim.schedule(1.0, chain, depth + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_nonfinite_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(float("inf"), lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule(float("nan"), lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_run_until_in_past_rejected():
+    sim = Simulator()
+    sim.run(until=5.0)
+    with pytest.raises(SimulationError):
+        sim.run(until=1.0)
+
+
+def test_step_runs_one_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    assert sim.step()
+    assert fired == ["a"]
+    assert sim.step()
+    assert fired == ["a", "b"]
+    assert not sim.step()
+
+
+def test_step_skips_cancelled():
+    sim = Simulator()
+    fired = []
+    first = sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    first.cancel()
+    assert sim.step()
+    assert fired == ["b"]
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    first = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    first.cancel()
+    assert sim.peek_time() == 2.0
+
+
+def test_peek_time_empty_queue():
+    sim = Simulator()
+    assert sim.peek_time() is None
+
+
+def test_max_events_stops_early():
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.schedule(float(i + 1), fired.append, i)
+    sim.run(max_events=2)
+    assert fired == [0, 1]
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(4):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_processed == 4
+
+
+def test_pending_count_reflects_cancellations():
+    sim = Simulator()
+    events = [sim.schedule(1.0, lambda: None) for _ in range(3)]
+    events[0].cancel()
+    assert sim.pending_count == 2
+
+
+def test_kwargs_passed_to_callback():
+    sim = Simulator()
+    seen = {}
+    sim.schedule(1.0, lambda **kw: seen.update(kw), x=1, y="two")
+    sim.run()
+    assert seen == {"x": 1, "y": "two"}
+
+
+def test_start_time_offset():
+    sim = Simulator(start_time=100.0)
+    assert sim.now == 100.0
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [101.0]

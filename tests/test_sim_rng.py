@@ -1,0 +1,58 @@
+"""Unit tests for named RNG streams."""
+
+from repro.sim.rng import RngRegistry
+
+
+def test_same_name_returns_same_stream():
+    reg = RngRegistry(seed=1)
+    assert reg.stream("traffic") is reg.stream("traffic")
+
+
+def test_different_names_are_independent_objects():
+    reg = RngRegistry(seed=1)
+    assert reg.stream("a") is not reg.stream("b")
+
+
+def test_streams_are_deterministic_across_registries():
+    values_a = [RngRegistry(seed=5).stream("x").random() for _ in range(3)]
+    values_b = [RngRegistry(seed=5).stream("x").random() for _ in range(3)]
+    assert values_a == values_b
+
+
+def test_different_seeds_give_different_sequences():
+    a = RngRegistry(seed=1).stream("x")
+    b = RngRegistry(seed=2).stream("x")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_different_names_give_different_sequences():
+    reg = RngRegistry(seed=1)
+    a = reg.stream("alpha")
+    b = reg.stream("beta")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_consuming_one_stream_does_not_shift_another():
+    reg1 = RngRegistry(seed=9)
+    reg1.stream("noise").random()  # consume from an unrelated stream
+    value_after_noise = reg1.stream("signal").random()
+
+    reg2 = RngRegistry(seed=9)
+    value_clean = reg2.stream("signal").random()
+    assert value_after_noise == value_clean
+
+
+def test_fork_changes_all_streams():
+    base = RngRegistry(seed=3)
+    forked = base.fork(run_index=1)
+    assert base.stream("x").random() != forked.stream("x").random()
+
+
+def test_fork_is_deterministic():
+    a = RngRegistry(seed=3).fork(2).stream("x").random()
+    b = RngRegistry(seed=3).fork(2).stream("x").random()
+    assert a == b
+
+
+def test_seed_property():
+    assert RngRegistry(seed=17).seed == 17

@@ -1,0 +1,72 @@
+"""Unit tests for the trace log."""
+
+from repro.sim.trace import TraceLog
+
+
+def test_emit_and_len():
+    log = TraceLog()
+    log.emit(1.0, "thing", value=1)
+    log.emit(2.0, "thing", value=2)
+    assert len(log) == 2
+
+
+def test_of_kind_filters():
+    log = TraceLog()
+    log.emit(1.0, "a")
+    log.emit(2.0, "b")
+    log.emit(3.0, "a")
+    assert [r.time for r in log.of_kind("a")] == [1.0, 3.0]
+    assert log.of_kind("missing") == []
+
+
+def test_first_with_field_match():
+    log = TraceLog()
+    log.emit(1.0, "drop", node=1)
+    log.emit(2.0, "drop", node=2)
+    record = log.first("drop", node=2)
+    assert record is not None and record.time == 2.0
+    assert log.first("drop", node=99) is None
+
+
+def test_count_with_field_match():
+    log = TraceLog()
+    log.emit(1.0, "x", node=1)
+    log.emit(2.0, "x", node=1)
+    log.emit(3.0, "x", node=2)
+    assert log.count("x") == 3
+    assert log.count("x", node=1) == 2
+
+
+def test_subscribe_receives_live_records():
+    log = TraceLog()
+    seen = []
+    log.subscribe("evt", seen.append)
+    log.emit(1.0, "evt", k="v")
+    log.emit(2.0, "other")
+    assert len(seen) == 1
+    assert seen[0]["k"] == "v"
+
+
+def test_record_get_and_getitem():
+    log = TraceLog()
+    record = log.emit(1.0, "evt", a=1)
+    assert record["a"] == 1
+    assert record.get("missing", "default") == "default"
+
+
+def test_clear_keeps_subscribers():
+    log = TraceLog()
+    seen = []
+    log.subscribe("evt", seen.append)
+    log.emit(1.0, "evt")
+    log.clear()
+    assert len(log) == 0
+    log.emit(2.0, "evt")
+    assert len(seen) == 2
+
+
+def test_iteration_order():
+    log = TraceLog()
+    log.emit(1.0, "a")
+    log.emit(0.5, "b")  # emission order, not time order
+    assert [r.kind for r in log] == ["a", "b"]

@@ -1,0 +1,125 @@
+"""Unit tests for the traffic generator."""
+
+import pytest
+
+from repro.net.topology import grid_topology
+from repro.routing.config import RoutingConfig
+from repro.routing.ondemand import OnDemandRouting
+from repro.traffic.generator import TrafficConfig, TrafficGenerator
+from tests.conftest import Harness
+
+
+def build(n=4, config=None):
+    harness = Harness(grid_topology(columns=n, rows=1, spacing=25.0, tx_range=30.0))
+    routers = {
+        node_id: OnDemandRouting(
+            harness.sim, harness.node(node_id), RoutingConfig(), harness.trace,
+            harness.rng.stream(f"routing:{node_id}"),
+        )
+        for node_id in harness.topology.node_ids
+    }
+    traffic = TrafficGenerator(
+        harness.sim, routers, sources=list(routers), rng=harness.rng,
+        config=config or TrafficConfig(data_rate=1.0, start_time=0.0),
+    )
+    return harness, routers, traffic
+
+
+def test_sources_generate_data():
+    harness, routers, traffic = build()
+    traffic.start()
+    harness.run(30.0)
+    assert traffic.packets_originated > 0
+    assert harness.trace.count("data_origin") == traffic.packets_originated
+
+
+def test_rate_roughly_matches_lambda():
+    harness, routers, traffic = build()
+    traffic.start()
+    harness.run(100.0)
+    # 4 sources at 1 pkt/s for 100 s -> ~400; allow wide tolerance.
+    assert 250 < traffic.packets_originated < 560
+
+
+def test_no_traffic_before_start_time():
+    harness, routers, traffic = build(
+        config=TrafficConfig(data_rate=5.0, start_time=10.0)
+    )
+    traffic.start()
+    harness.run(9.0)
+    assert traffic.packets_originated == 0
+
+
+def test_destination_never_self():
+    harness, routers, traffic = build()
+    traffic.start()
+    harness.run(50.0)
+    for record in harness.trace.of_kind("data_origin"):
+        assert record["origin"] != record["destination"]
+
+
+def test_destinations_only_from_sources():
+    harness, routers, traffic = build()
+    allowed = set(routers)
+    traffic.start()
+    harness.run(30.0)
+    for record in harness.trace.of_kind("data_origin"):
+        assert record["destination"] in allowed
+
+
+def test_destination_changes_over_time():
+    harness, routers, traffic = build(
+        config=TrafficConfig(data_rate=2.0, destination_change_rate=0.5, start_time=0.0)
+    )
+    traffic.start()
+    destinations = set()
+    harness.run(60.0)
+    for record in harness.trace.of_kind("data_origin"):
+        if record["origin"] == 0:
+            destinations.add(record["destination"])
+    assert len(destinations) >= 2
+
+
+def test_stop_halts_generation():
+    harness, routers, traffic = build()
+    traffic.start()
+    harness.run(10.0)
+    count = traffic.packets_originated
+    traffic.stop()
+    harness.run(50.0)
+    assert traffic.packets_originated == count
+
+
+def test_start_idempotent():
+    harness, routers, traffic = build()
+    traffic.start()
+    traffic.start()
+    harness.run(20.0)
+    # Rate unchanged (no doubled timers): still in the single-source band.
+    assert traffic.packets_originated < 120
+
+
+def test_current_destination_exposed():
+    harness, routers, traffic = build()
+    traffic.start()
+    assert traffic.current_destination(0) in {1, 2, 3}
+
+
+def test_needs_two_sources():
+    harness, routers, _ = build()
+    with pytest.raises(ValueError):
+        TrafficGenerator(harness.sim, routers, sources=[0], rng=harness.rng)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"data_rate": 0},
+        {"destination_change_rate": 0},
+        {"payload_size": 0},
+        {"start_time": -1},
+    ],
+)
+def test_invalid_config(kwargs):
+    with pytest.raises(ValueError):
+        TrafficConfig(**kwargs)

@@ -1,0 +1,75 @@
+"""Tests for the ASCII visualization helpers."""
+
+import pytest
+
+from repro.experiments.scenario import ScenarioConfig, build_scenario
+from repro.viz import render_field, render_scenario, render_timeseries
+
+
+def test_render_field_marks_symbols():
+    positions = {0: (0.0, 0.0), 1: (50.0, 0.0), 2: (100.0, 100.0), 3: (0.0, 100.0)}
+    text = render_field(positions, malicious=[1], isolated=[], highlight=[3])
+    assert "W" in text
+    assert "*" in text
+    assert "." in text
+
+
+def test_render_field_isolated_symbol():
+    positions = {0: (0.0, 0.0), 1: (50.0, 50.0)}
+    text = render_field(positions, malicious=[1], isolated=[1])
+    assert "X" in text
+    assert "W" not in text
+
+
+def test_render_field_empty():
+    assert render_field({}) == "(empty field)"
+
+
+def test_render_field_single_node():
+    text = render_field({0: (5.0, 5.0)})
+    assert "." in text
+
+
+def test_render_field_bad_canvas():
+    with pytest.raises(ValueError):
+        render_field({0: (0, 0)}, width=1)
+
+
+def test_render_field_dimensions():
+    positions = {0: (0.0, 0.0), 1: (10.0, 10.0)}
+    text = render_field(positions, width=20, height=5)
+    lines = text.splitlines()
+    assert len(lines) == 5 + 2  # body + two borders
+    assert all(len(line) == 22 for line in lines)
+
+
+def test_render_scenario_shows_wormhole():
+    scenario = build_scenario(
+        ScenarioConfig(n_nodes=20, duration=60.0, seed=3, attack_start=30.0)
+    )
+    text = render_scenario(scenario)
+    assert text.count("W") >= 1
+    assert "legend" not in text  # legend text itself, not the word
+    assert "wormhole" in text
+
+
+def test_render_scenario_marks_isolation_after_run():
+    scenario = build_scenario(
+        ScenarioConfig(n_nodes=25, duration=200.0, seed=5, attack_start=30.0)
+    )
+    report = scenario.run()
+    text = render_scenario(scenario)
+    if len(report.isolation_times) == len(scenario.malicious_ids):
+        assert "X" in text
+
+
+def test_render_timeseries():
+    text = render_timeseries([0.0, 5.0, 10.0], width=10)
+    lines = text.splitlines()
+    assert len(lines) == 3
+    assert lines[2].count("#") == 10
+    assert lines[0].count("#") == 0
+
+
+def test_render_timeseries_empty():
+    assert render_timeseries([]) == "(no data)"
