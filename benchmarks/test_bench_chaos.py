@@ -1,0 +1,65 @@
+"""Robustness under fault injection — the liveness layer's headline
+result (DESIGN.md section 5b item 5, ablatable via
+``heartbeat_period=None``).
+
+One chaos run crashes 20% of the wormhole's guard pool mid-attack and
+adds a 10% ambient-loss burst, then asks two questions of each arm:
+
+- **liveness on** — detection must survive the churn (the wormhole is
+  still detected and revoked by surviving guards) and *no* crashed honest
+  node may be falsely isolated: silence is adjudicated by the failure
+  detector, not read as malice.
+- **liveness off** (the paper's crash-naive behaviour) — the same plan
+  falsely isolates at least one crashed honest guard, demonstrating the
+  failure mode the refinement removes.
+
+The report is additionally checked for byte-identical determinism: the
+same seed and fault plan must reproduce the exact same output.
+"""
+
+from repro.experiments.chaos import ChaosConfig, run_chaos
+
+SEED = 1
+
+
+def compute():
+    on = run_chaos(ChaosConfig(seed=SEED, liveness=True))
+    off = run_chaos(ChaosConfig(seed=SEED, liveness=False))
+    replay = run_chaos(ChaosConfig(seed=SEED, liveness=True))
+    return on, off, replay
+
+
+def test_bench_chaos(benchmark, record_output):
+    on, off, replay = benchmark.pedantic(compute, rounds=1, iterations=1)
+    record_output(
+        "chaos_liveness",
+        "\n\n".join([on.format(), off.format()]),
+    )
+
+    # The fault plan is identical in both arms: same crashed guards.
+    assert on.plan == off.plan
+    assert on.robustness.crashed_honest == off.robustness.crashed_honest
+    assert len(on.robustness.crashed_honest) >= 1
+
+    # Detection survives the churn with the liveness layer on.
+    assert on.wormhole_detected
+    assert on.wormhole_revoked
+    assert on.robustness.detection_latency is not None
+
+    # No crashed honest node is mistaken for a wormhole...
+    assert on.robustness.falsely_isolated == ()
+    # ...whereas the crash-naive ablation falsely isolates at least one.
+    assert len(off.robustness.falsely_isolated) >= 1
+    assert set(off.robustness.falsely_isolated) <= set(off.robustness.crashed_honest)
+
+    # The failure detector actually ran (and only in the on arm).
+    assert on.robustness.deaths_declared > 0
+    assert off.robustness.deaths_declared == 0
+
+    # Acked dissemination: most unique alerts are delivered, some retried.
+    assert on.robustness.alert_delivery_ratio is not None
+    assert on.robustness.alert_delivery_ratio > 0.5
+
+    # Same seed + same plan => byte-identical report.
+    assert replay.format() == on.format()
+    assert replay.robustness.format() == on.robustness.format()

@@ -21,6 +21,7 @@ from repro.analysis import CostModel, CoverageParams, detection_probability
 from repro.attacks import ATTACK_MODES, WormholeCoordinator, taxonomy_table
 from repro.baselines import LeashAgent, LeashConfig
 from repro.core import LiteworpAgent, LiteworpConfig
+from repro.faults import FaultController, FaultPlan
 from repro.mobility import DynamicNeighborhood, RandomWaypointModel, WaypointConfig
 from repro.experiments import (
     ScenarioConfig,
@@ -44,6 +45,8 @@ __all__ = [
     "CostModel",
     "CoverageParams",
     "DynamicNeighborhood",
+    "FaultController",
+    "FaultPlan",
     "LeashAgent",
     "LeashConfig",
     "LiteworpAgent",

@@ -10,7 +10,7 @@ so the only differences are the deliberate deviations.
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, Set, Tuple
 
 from repro.attacks.coordinator import WormholeCoordinator
 from repro.net.network import Network

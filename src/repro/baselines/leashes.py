@@ -25,7 +25,7 @@ outsider relay, high-power shouting) are caught.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 from repro.crypto.auth import Authenticator
 from repro.net.node import Node

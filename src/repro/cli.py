@@ -7,6 +7,8 @@ Commands
 - ``fig6`` — the analytical coverage curves.
 - ``cost`` — the section-5.2 cost table.
 - ``taxonomy`` — Table 1.
+- ``chaos`` — fault-injection run: guards crash mid-run under a loss
+  burst; reports detection survival and false-isolation counts.
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ from repro.analysis.coverage import (
     false_alarm_vs_neighbors,
 )
 from repro.attacks.taxonomy import taxonomy_table
+from repro.experiments.chaos import ChaosConfig, run_chaos
 from repro.experiments.figures import run_fig8, run_fig9, run_fig10
 from repro.experiments.scenario import (
     ATTACK_MODES,
@@ -67,6 +70,23 @@ def build_parser() -> argparse.ArgumentParser:
     fig10_p.add_argument("--duration", type=float, default=250.0)
     fig10_p.add_argument("--runs", type=int, default=2)
     fig10_p.add_argument("--seed", type=int, default=8)
+
+    chaos_p = sub.add_parser(
+        "chaos", help="run the wormhole scenario under fault injection"
+    )
+    chaos_p.add_argument("--nodes", type=int, default=60)
+    chaos_p.add_argument("--duration", type=float, default=240.0)
+    chaos_p.add_argument("--seed", type=int, default=1)
+    chaos_p.add_argument("--crash-fraction", type=float, default=0.2,
+                         help="fraction of the guard pool crashed mid-run")
+    chaos_p.add_argument("--recover-fraction", type=float, default=0.0,
+                         help="fraction of crashed guards that reboot")
+    chaos_p.add_argument("--loss", type=float, default=0.10,
+                         help="ambient loss probability during the burst")
+    chaos_p.add_argument("--no-liveness", dest="liveness", action="store_false",
+                         help="ablate the heartbeat failure detector")
+    chaos_p.add_argument("--json", dest="json_path", default=None,
+                         help="also write the robustness report as JSON to this path")
 
     sub.add_parser("fig6", help="analytical coverage curves (6a and 6b)")
     sub.add_parser("cost", help="section 5.2 cost table")
@@ -129,6 +149,29 @@ def _cmd_fig10(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    config = ChaosConfig(
+        n_nodes=args.nodes,
+        duration=args.duration,
+        seed=args.seed,
+        crash_fraction=args.crash_fraction,
+        recover_fraction=args.recover_fraction,
+        loss_probability=args.loss,
+        liveness=args.liveness,
+    )
+    result = run_chaos(config)
+    print(result.format())
+    if args.json_path:
+        import json
+        import pathlib
+
+        path = pathlib.Path(args.json_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(result.robustness.to_dict(), indent=2) + "\n")
+        print(f"report written to {path}")
+    return 0
+
+
 def _cmd_fig6(_args: argparse.Namespace) -> int:
     params = CoverageParams()
     print("Figure 6(a): N_B vs P(detection)")
@@ -158,6 +201,7 @@ _COMMANDS = {
     "fig8": _cmd_fig8,
     "fig9": _cmd_fig9,
     "fig10": _cmd_fig10,
+    "chaos": _cmd_chaos,
     "fig6": _cmd_fig6,
     "cost": _cmd_cost,
     "taxonomy": _cmd_taxonomy,

@@ -25,13 +25,18 @@ from repro.core.agent import LiteworpAgent
 from repro.core.config import LiteworpConfig
 from repro.core.discovery import NeighborDiscovery
 from repro.core.isolation import IsolationManager
+from repro.core.liveness import ALIVE, DEAD, SUSPECT, LivenessManager
 from repro.core.monitor import LocalMonitor
 from repro.core.tables import NeighborTable
 
 __all__ = [
+    "ALIVE",
+    "DEAD",
+    "SUSPECT",
     "IsolationManager",
     "LiteworpAgent",
     "LiteworpConfig",
+    "LivenessManager",
     "LocalMonitor",
     "NeighborDiscovery",
     "NeighborTable",

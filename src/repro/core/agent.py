@@ -12,6 +12,13 @@ The agent plugs into the node pipeline in four places:
 - **listener** — alert handling;
 - **send filter** — refuse to transmit to revoked nodes, and feed the
   node's own transmissions to the monitor (a node guards its own links).
+
+When ``config.heartbeat_period`` is set the agent additionally composes a
+:class:`~repro.core.liveness.LivenessManager` and subscribes to the node's
+lifecycle (crash / recover): a crash deactivates the filters and drops all
+volatile monitor state; a recovery re-runs neighbor bootstrap against the
+retained (nonvolatile) neighbor table, so revocations stay sticky across
+reboots.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from typing import Dict, Optional
 from repro.core.config import LiteworpConfig
 from repro.core.discovery import NeighborDiscovery, install_oracle_tables
 from repro.core.isolation import IsolationManager
+from repro.core.liveness import LivenessManager
 from repro.core.monitor import LocalMonitor
 from repro.core.tables import NeighborTable
 from repro.crypto.keys import KeyStore
@@ -63,10 +71,28 @@ class LiteworpAgent:
         self.discovery: Optional[NeighborDiscovery] = None
         self.activated = False
         self.rejects: Dict[str, int] = {"nonneighbor": 0, "revoked": 0, "secondhop": 0}
+        self._router: Optional[OnDemandRouting] = None
+        self._oracle_adjacency: Optional[Dict[NodeId, tuple]] = None
+        self.liveness: Optional[LivenessManager] = None
+        if config.heartbeat_period is not None:
+            self.liveness = LivenessManager(
+                sim,
+                node,
+                self.table,
+                config,
+                trace,
+                self.rng,
+                on_dead=self._neighbor_dead,
+                on_recovered=self._neighbor_recovered,
+            )
+            self.monitor.set_liveness(self.liveness.is_accusable)
+            node.add_observer(self.liveness.note_frame)
+            node.add_listener(self.liveness.on_frame)
         node.add_observer(self._observe)
         node.add_filter(self._receive_filter)
         node.add_listener(self.isolation.on_frame)
         node.add_send_filter(self._send_filter)
+        node.add_lifecycle_listener(self._lifecycle)
 
     # ------------------------------------------------------------------
     # Bootstrapping
@@ -88,27 +114,81 @@ class LiteworpAgent:
 
     def install_oracle(self, adjacency: Dict[NodeId, tuple]) -> None:
         """Install ground-truth neighbor tables and activate immediately."""
+        self._oracle_adjacency = adjacency
         install_oracle_tables(self.table, self.node.node_id, adjacency)
         self.activate()
 
     def activate(self) -> None:
         """Switch on the legitimacy filters and local monitoring."""
         self.activated = True
+        if self.liveness is not None:
+            self.liveness.start()
 
     def attach_router(self, router: OnDemandRouting) -> None:
         """Wire LITEWORP into a routing agent: revoked neighbors become
         unusable as next hops and their cached routes are evicted."""
+        self._router = router
         router.usable = self.is_usable
         self.isolation.on_revocation(lambda bad: router.routes.evict_via(bad))
+
+    # ------------------------------------------------------------------
+    # Crash / recovery and neighbor liveness
+    # ------------------------------------------------------------------
+    def _lifecycle(self, alive: bool) -> None:
+        if alive:
+            self._rejoin()
+        else:
+            self._crash()
+
+    def _crash(self) -> None:
+        """The host node went down: all volatile protocol state is gone.
+        The neighbor table (and its revocations) models nonvolatile
+        storage and is retained across the outage."""
+        self.activated = False
+        self.monitor.reset()
+        self.isolation.reset_pending()
+        if self.liveness is not None:
+            self.liveness.reset()
+
+    def _rejoin(self) -> None:
+        """Reboot: re-run neighbor bootstrap.  With an oracle installed the
+        tables are refreshed in place; otherwise the authenticated
+        discovery protocol runs again.  Either way revocations are sticky
+        (``install_oracle_tables`` and discovery both go through
+        ``add_neighbor``, which never resurrects a tombstone)."""
+        if self._oracle_adjacency is not None:
+            self.install_oracle(self._oracle_adjacency)
+        else:
+            self.start_discovery()
+
+    def _neighbor_dead(self, neighbor: NodeId) -> None:
+        """Liveness declared a neighbor DEAD: stop expecting forwards from
+        it, optionally void the MalC mass its silence accrued, and evict
+        routes through it."""
+        self.monitor.clear_watch_of(neighbor)
+        if self.config.exonerate_dead and not self.table.is_revoked(neighbor):
+            self.table.clear_malc(neighbor)
+        if self._router is not None:
+            self._router.routes.evict_via(neighbor)
+
+    def _neighbor_recovered(self, neighbor: NodeId) -> None:
+        """A DEAD neighbor spoke again (rebooted): monitoring resumes
+        automatically via the liveness predicate; nothing to undo."""
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def is_usable(self, node: NodeId) -> bool:
-        """Routing hook: may ``node`` be used as a next hop?"""
+        """Routing hook: may ``node`` be used as a next hop?  Revoked
+        neighbors never are; neighbors currently believed DEAD are skipped
+        too (routing around failures, not just malice)."""
         if not self.activated:
             return True
-        return self.table.is_active_neighbor(node)
+        if not self.table.is_active_neighbor(node):
+            return False
+        if self.liveness is not None and not self.liveness.is_alive(node):
+            return False
+        return True
 
     def has_isolated(self, node: NodeId) -> bool:
         """Whether this agent has revoked ``node`` (by own detection or θ

@@ -9,6 +9,7 @@ window over which malicious activity is accumulated — Table 2 uses 200).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -63,6 +64,36 @@ class LiteworpConfig:
         ``list_time``, filters/monitoring active at ``activate_time``.
     hello_repeats:
         HELLO retransmissions to ride out collisions during discovery.
+    heartbeat_period:
+        Liveness refinement (DESIGN.md 5b item 5): nodes broadcast a
+        heartbeat every this many seconds and track when each neighbor was
+        last heard.  ``None`` (the default) disables the liveness layer
+        entirely and recovers the paper's raw behaviour, where a crashed
+        neighbor is indistinguishable from a malicious dropper.
+    heartbeat_jitter:
+        Uniform jitter added to each heartbeat to avoid synchronisation.
+    liveness_timeout_beats:
+        Silence longer than this many heartbeat periods marks a neighbor
+        SUSPECT and starts probing.
+    probe_retries:
+        Unacknowledged probes (with exponential backoff) before a SUSPECT
+        neighbor is declared DEAD.
+    probe_backoff:
+        Initial probe-response timeout in seconds; doubles per retry.
+    exonerate_dead:
+        Void the windowed MalC mass of a neighbor on its ALIVE -> DEAD
+        transition: the accumulated drop evidence is better explained by
+        the failure than by malice.  (A malicious node gains nothing by
+        playing dead: while "dead" it is not used for routing and cannot
+        attack, and its MalC re-accrues the moment it resumes.)
+    alert_retries:
+        Application-level retransmissions of an unacknowledged ALERT
+        (0, the default, recovers the paper's fire-and-forget alerts).
+        When positive, alert recipients return an authenticated ack and
+        guards retransmit with exponential backoff until acked or the
+        budget is spent — revocations then survive lossy bursts.
+    alert_retry_timeout:
+        Initial ALERT ack timeout in seconds; doubles per retransmission.
     """
 
     delta: float = 0.8
@@ -83,6 +114,14 @@ class LiteworpConfig:
     list_time: float = 2.0
     activate_time: float = 3.0
     hello_repeats: int = 2
+    heartbeat_period: Optional[float] = None
+    heartbeat_jitter: float = 0.1
+    liveness_timeout_beats: float = 3.0
+    probe_retries: int = 3
+    probe_backoff: float = 1.0
+    exonerate_dead: bool = True
+    alert_retries: int = 0
+    alert_retry_timeout: float = 1.0
 
     def __post_init__(self) -> None:
         if self.delta <= 0:
@@ -103,3 +142,17 @@ class LiteworpConfig:
             raise ValueError("hello_repeats must be at least 1")
         if not 0 < self.list_time < self.activate_time:
             raise ValueError("need 0 < list_time < activate_time")
+        if self.heartbeat_period is not None and self.heartbeat_period <= 0:
+            raise ValueError("heartbeat_period must be positive (or None to disable)")
+        if self.heartbeat_jitter < 0:
+            raise ValueError("heartbeat_jitter must be non-negative")
+        if self.liveness_timeout_beats <= 0:
+            raise ValueError("liveness_timeout_beats must be positive")
+        if self.probe_retries < 1:
+            raise ValueError("probe_retries must be at least 1")
+        if self.probe_backoff <= 0:
+            raise ValueError("probe_backoff must be positive")
+        if self.alert_retries < 0:
+            raise ValueError("alert_retries must be non-negative")
+        if self.alert_retry_timeout <= 0:
+            raise ValueError("alert_retry_timeout must be positive")

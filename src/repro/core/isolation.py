@@ -19,16 +19,18 @@ neighborhood — quick and cheap.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.config import LiteworpConfig
 from repro.core.tables import NeighborTable
 from repro.crypto.auth import Authenticator
 from repro.crypto.keys import KeyStore
 from repro.net.node import Node
-from repro.net.packet import AlertPacket, Frame, NodeId
-from repro.sim.engine import Simulator
+from repro.net.packet import AlertAckPacket, AlertPacket, Frame, NodeId
+from repro.sim.engine import Event, Simulator
 from repro.sim.trace import TraceLog
+
+AlertKey = Tuple[NodeId, NodeId]  # (accused, recipient)
 
 
 class IsolationManager:
@@ -52,11 +54,23 @@ class IsolationManager:
         self.alerts_sent = 0
         self.alerts_accepted = 0
         self.alerts_rejected = 0
+        self.alert_retransmits = 0
+        self.acks_verified = 0
         self._revocation_callbacks: List[Callable[[NodeId], None]] = []
+        # Acked dissemination (config.alert_retries > 0): outstanding
+        # retransmission deadlines per (accused, recipient).
+        self._pending_acks: Dict[AlertKey, Event] = {}
 
     def on_revocation(self, callback: Callable[[NodeId], None]) -> None:
         """Register a callback fired whenever a node is revoked locally."""
         self._revocation_callbacks.append(callback)
+
+    def reset_pending(self) -> None:
+        """Cancel every outstanding retransmission deadline (crash support:
+        a guard that went down loses its volatile send state)."""
+        for event in self._pending_acks.values():
+            event.cancel()
+        self._pending_acks.clear()
 
     # ------------------------------------------------------------------
     # Guard side: detection -> revoke + alert
@@ -86,30 +100,113 @@ class IsolationManager:
         return sorted(recipients)
 
     def _send_alert(self, accused: NodeId, recipient: NodeId) -> None:
+        if not self._transmit_alert(accused, recipient):
+            return
+        self.alerts_sent += 1
+        self.trace.emit(
+            self.sim.now, "alert_sent", guard=self.node.node_id,
+            accused=accused, recipient=recipient,
+        )
+        if self.config.alert_retries > 0:
+            self._arm_retry(accused, recipient, attempt=0)
+
+    def _transmit_alert(self, accused: NodeId, recipient: NodeId) -> bool:
+        """Build and transmit one alert (direct or one-relay).  The relay
+        is re-chosen per transmission so retransmissions route around
+        neighbors that died or were revoked in the meantime."""
         me = self.node.node_id
         key = self.keys.key_with(recipient)
         if key is None:
-            return
+            return False
         auth = Authenticator.tag(key, "alert", me, accused, recipient)
         if self.table.is_active_neighbor(recipient):
             packet = AlertPacket(guard=me, accused=accused, recipient=recipient, auth=auth)
-            self.node.unicast(packet, next_hop=recipient, prev_hop=None)
-            self.alerts_sent += 1
-            return
+            return self.node.unicast(packet, next_hop=recipient, prev_hop=None)
         if not self.config.alert_relay:
-            return
+            return False
         relay = self._pick_relay(accused, recipient)
         if relay is None:
             self.trace.emit(
                 self.sim.now, "alert_undeliverable", guard=me,
                 accused=accused, recipient=recipient,
             )
-            return
+            return False
         packet = AlertPacket(
             guard=me, accused=accused, recipient=recipient, auth=auth, relay_via=relay
         )
-        self.node.unicast(packet, next_hop=relay, prev_hop=None)
-        self.alerts_sent += 1
+        return self.node.unicast(packet, next_hop=relay, prev_hop=None)
+
+    # ------------------------------------------------------------------
+    # Bounded retransmission (acked dissemination)
+    # ------------------------------------------------------------------
+    def _arm_retry(self, accused: NodeId, recipient: NodeId, attempt: int) -> None:
+        deadline = self.config.alert_retry_timeout * (2 ** attempt)
+        self._pending_acks[(accused, recipient)] = self.sim.schedule(
+            deadline, self._retry_alert, accused, recipient, attempt
+        )
+
+    def _retry_alert(self, accused: NodeId, recipient: NodeId, attempt: int) -> None:
+        key = (accused, recipient)
+        if key not in self._pending_acks:
+            return
+        del self._pending_acks[key]
+        if attempt >= self.config.alert_retries:
+            self.trace.emit(
+                self.sim.now, "alert_abandoned", guard=self.node.node_id,
+                accused=accused, recipient=recipient, attempts=attempt,
+            )
+            return
+        self.alert_retransmits += 1
+        self.trace.emit(
+            self.sim.now, "alert_retransmit", guard=self.node.node_id,
+            accused=accused, recipient=recipient, attempt=attempt + 1,
+        )
+        self._transmit_alert(accused, recipient)
+        self._arm_retry(accused, recipient, attempt + 1)
+
+    def _ack_alert(self, packet: AlertPacket, via: NodeId) -> None:
+        """Recipient side: confirm delivery so the guard stops resending.
+        The ack retraces the delivery path (direct, or back through the
+        relay that brought the alert)."""
+        me = self.node.node_id
+        key = self.keys.key_with(packet.guard)
+        if key is None:
+            return
+        ack = AlertAckPacket(
+            sender=me,
+            guard=packet.guard,
+            accused=packet.accused,
+            auth=Authenticator.tag(key, "alert-ack", me, packet.accused, packet.guard),
+            relay_via=None if via == packet.guard else via,
+        )
+        self.node.unicast(ack, next_hop=via, prev_hop=None)
+
+    def _on_alert_ack(self, packet: AlertAckPacket) -> None:
+        me = self.node.node_id
+        if packet.relay_via == me and packet.guard != me:
+            # Relay leg: hand the ack on to the guard.
+            if self.table.is_active_neighbor(packet.guard):
+                forwarded = AlertAckPacket(
+                    sender=packet.sender, guard=packet.guard,
+                    accused=packet.accused, auth=packet.auth, relay_via=None,
+                )
+                self.node.unicast(forwarded, next_hop=packet.guard, prev_hop=packet.sender)
+            return
+        if packet.guard != me:
+            return
+        key = self.keys.key_with(packet.sender)
+        if not Authenticator.verify(
+            key, packet.auth, "alert-ack", packet.sender, packet.accused, me
+        ):
+            return
+        pending = self._pending_acks.pop((packet.accused, packet.sender), None)
+        if pending is not None:
+            pending.cancel()
+            self.acks_verified += 1
+            self.trace.emit(
+                self.sim.now, "alert_ack_verified", guard=me,
+                accused=packet.accused, recipient=packet.sender,
+            )
 
     def _pick_relay(self, accused: NodeId, recipient: NodeId) -> Optional[NodeId]:
         """A neighbor (other than the accused) that can reach the recipient."""
@@ -125,19 +222,22 @@ class IsolationManager:
     # Recipient side
     # ------------------------------------------------------------------
     def on_frame(self, frame: Frame) -> None:
-        """Listener entry point for alert packets."""
+        """Listener entry point for alert and alert-ack packets."""
         packet = frame.packet
-        if not isinstance(packet, AlertPacket):
-            return
         me = self.node.node_id
         if frame.link_dst != me:
+            return
+        if isinstance(packet, AlertAckPacket):
+            self._on_alert_ack(packet)
+            return
+        if not isinstance(packet, AlertPacket):
             return
         if packet.relay_via == me and packet.recipient != me:
             self._relay_alert(packet)
             return
         if packet.recipient != me:
             return
-        self._accept_alert(packet)
+        self._accept_alert(packet, via=frame.transmitter)
 
     def _relay_alert(self, packet: AlertPacket) -> None:
         """Forward a two-hop alert to its recipient (end-to-end tag keeps us
@@ -153,7 +253,7 @@ class IsolationManager:
         )
         self.node.unicast(forwarded, next_hop=packet.recipient, prev_hop=packet.guard)
 
-    def _accept_alert(self, packet: AlertPacket) -> None:
+    def _accept_alert(self, packet: AlertPacket, via: Optional[NodeId] = None) -> None:
         me = self.node.node_id
         guard, accused = packet.guard, packet.accused
         key = self.keys.key_with(guard)
@@ -180,6 +280,11 @@ class IsolationManager:
                 self.sim.now, "alert_rejected", node=me, guard=guard,
                 accused=accused, reason="not_a_guard",
             )
+            return
+        if self.config.alert_retries > 0 and via is not None:
+            self._ack_alert(packet, via)
+        if guard in self.table.alert_guards(accused):
+            # Retransmitted duplicate: the ack above is the useful part.
             return
         self.alerts_accepted += 1
         count = self.table.add_alert(accused, guard)

@@ -82,7 +82,40 @@ class LocalMonitor:
         self.fabrications_seen = 0
         self.drops_seen = 0
         self.suppressed_accusations = 0
+        self.suspended_accusations = 0
         self.watch_buffer_peak = 0
+        # Liveness refinement: when set, accusations against nodes the
+        # predicate reports as not-alive are suspended (a crashed neighbor
+        # is not a malicious dropper).
+        self._is_alive: Optional[Callable[[NodeId], bool]] = None
+
+    # ------------------------------------------------------------------
+    # Liveness integration
+    # ------------------------------------------------------------------
+    def set_liveness(self, is_alive: Callable[[NodeId], bool]) -> None:
+        """Install the liveness predicate used to suspend accusations
+        against neighbors currently believed DEAD."""
+        self._is_alive = is_alive
+
+    def clear_watch_of(self, node: NodeId) -> None:
+        """Cancel every pending watch-buffer expectation on ``node`` (its
+        guard just learned the node is dead: the pending forwards will
+        never happen for benign reasons)."""
+        stale = [key for key in self._expectations if key[1] == node]
+        for key in stale:
+            event = self._expectations.pop(key)
+            event.cancel()
+
+    def reset(self) -> None:
+        """Drop all volatile monitoring state (crash support): pending
+        expectations, the overheard store, and recent-loss history.  The
+        set of already-detected nodes survives — detection state rides the
+        (nonvolatile) neighbor table's revocations."""
+        for event in self._expectations.values():
+            event.cancel()
+        self._expectations.clear()
+        self._overheard.clear()
+        self._recent_losses.clear()
 
     # ------------------------------------------------------------------
     # Collision awareness
@@ -196,6 +229,14 @@ class LocalMonitor:
         request unless it already did or is the origin/target."""
         if not own and not self.table.is_neighbor(transmitter):
             return
+        if self._lost_since(self.sim.now - self.config.fabrication_grace):
+            # Flood rebroadcasts pile up on the air, and this guard just
+            # provably missed at least one reception — its view of who
+            # already forwarded is unreliable, so expecting anyone to
+            # forward again would manufacture false drops.  Same grace
+            # logic as fabrication.
+            self.suppressed_accusations += 1
+            return
         reach = self.table.neighbors_of(transmitter)
         if reach is None:
             return
@@ -222,6 +263,8 @@ class LocalMonitor:
     # Watch buffer
     # ------------------------------------------------------------------
     def _add_expectation(self, key: PacketKey, watched: NodeId) -> None:
+        if self._is_alive is not None and not self._is_alive(watched):
+            return
         watch_key = (key, watched)
         if watch_key in self._expectations:
             return
@@ -253,6 +296,18 @@ class LocalMonitor:
     # ------------------------------------------------------------------
     def _accuse(self, node: NodeId, value: int, reason: str, key: PacketKey) -> None:
         if node in self._detected or self.table.is_revoked(node):
+            return
+        if self._is_alive is not None and not self._is_alive(node):
+            # Graceful degradation: the neighbor is believed dead, so the
+            # missing forward is explained by the failure, not by malice.
+            self.suspended_accusations += 1
+            self.trace.emit(
+                self.sim.now,
+                "malc_suspended",
+                guard=self.owner,
+                accused=node,
+                reason=reason,
+            )
             return
         total = self.table.record_malicious(node, value, self.sim.now, self.config.malc_window)
         self.trace.emit(

@@ -169,6 +169,14 @@ class NeighborTable:
             return 0
         return record.malc(now, window)
 
+    def clear_malc(self, node: NodeId) -> None:
+        """Void all pending MalC mass for ``node`` (liveness exoneration:
+        a neighbor declared DEAD had its drop evidence explained by the
+        failure, not by malice).  Status is untouched."""
+        record = self._first.get(node)
+        if record is not None:
+            record.malc_events.clear()
+
     # ------------------------------------------------------------------
     # Alert buffer
     # ------------------------------------------------------------------

@@ -8,7 +8,7 @@ message (a wormhole could otherwise replay one legitimate alert many times).
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Hashable
+from typing import Hashable
 
 
 class ReplayCache:

@@ -9,6 +9,12 @@
   cost table from the analysis module).
 """
 
+from repro.experiments.chaos import (
+    ChaosConfig,
+    ChaosResult,
+    make_chaos_plan,
+    run_chaos,
+)
 from repro.experiments.parameters import TABLE2, Table2Parameters
 from repro.experiments.records import ExperimentRecord, run_and_record
 from repro.experiments.scenario import (
@@ -29,6 +35,8 @@ from repro.experiments.figures import (
 )
 
 __all__ = [
+    "ChaosConfig",
+    "ChaosResult",
     "ExperimentRecord",
     "Fig10Result",
     "Fig8Result",
@@ -40,7 +48,9 @@ __all__ = [
     "Table2Parameters",
     "average_runs",
     "build_scenario",
+    "make_chaos_plan",
     "run_and_record",
+    "run_chaos",
     "run_fig10",
     "run_fig8",
     "run_fig9",

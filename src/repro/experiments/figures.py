@@ -16,7 +16,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.coverage import CoverageParams, detection_vs_theta
 from repro.experiments.scenario import ScenarioConfig, average_runs
-from repro.metrics.collector import MetricsReport
 
 
 def _mean(values: Sequence[float]) -> float:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.attacks.agents import (
     HighPowerRouting,
@@ -24,6 +24,8 @@ from repro.baselines.leashes import LeashAgent, LeashConfig
 from repro.core.agent import LiteworpAgent
 from repro.core.config import LiteworpConfig
 from repro.crypto.keys import PairwiseKeyManager
+from repro.faults.controller import FaultController
+from repro.faults.plan import FaultPlan
 from repro.metrics.collector import MetricsCollector, MetricsReport
 from repro.net.network import Network, NetworkConfig
 from repro.net.packet import NodeId
@@ -73,8 +75,35 @@ class ScenarioConfig:
     fake_prev_strategy: str = "smart"
     encap_hop_delay: float = 0.02
     highpower_multiplier: float = 3.0
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
+        # Eager validation: a malformed config must fail at construction
+        # with a clear message, not minutes into a run (or, worse, produce
+        # a silently empty report).
+        if self.n_nodes < 4:
+            raise ValueError(f"need at least 4 nodes, got {self.n_nodes!r}")
+        if self.tx_range <= 0:
+            raise ValueError(f"tx_range must be positive, got {self.tx_range!r}")
+        if self.avg_neighbors <= 0:
+            raise ValueError(f"avg_neighbors must be positive, got {self.avg_neighbors!r}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration!r}")
+        if self.attack_start < 0:
+            raise ValueError(f"attack_start must be non-negative, got {self.attack_start!r}")
+        if self.malicious_min_separation < 0:
+            raise ValueError(
+                "malicious_min_separation must be non-negative, "
+                f"got {self.malicious_min_separation!r}"
+            )
+        if self.encap_hop_delay < 0:
+            raise ValueError(
+                f"encap_hop_delay must be non-negative, got {self.encap_hop_delay!r}"
+            )
+        if self.highpower_multiplier <= 0:
+            raise ValueError(
+                f"highpower_multiplier must be positive, got {self.highpower_multiplier!r}"
+            )
         if self.attack_mode not in ATTACK_MODES:
             raise ValueError(f"attack_mode must be one of {ATTACK_MODES}")
         if self.defense not in DEFENSES:
@@ -87,8 +116,6 @@ class ScenarioConfig:
             raise ValueError(f"{self.attack_mode} uses exactly one malicious node")
         if self.duration <= self.attack_start and self.attack_mode != "none" and self.n_malicious:
             raise ValueError("duration must extend past attack_start")
-        if self.n_nodes < 4:
-            raise ValueError("need at least 4 nodes")
 
     def effective_defense(self) -> str:
         """Resolve ``"auto"`` against the legacy boolean flag."""
@@ -123,6 +150,7 @@ class Scenario:
     coordinator: Optional[WormholeCoordinator] = None
     relay_attacker: Optional[RelayAttacker] = None
     leash_agents: Dict[NodeId, LeashAgent] = field(default_factory=dict)
+    fault_controller: Optional[FaultController] = None
 
     @property
     def honest_ids(self) -> Tuple[NodeId, ...]:
@@ -275,6 +303,11 @@ def build_scenario(config: ScenarioConfig) -> Scenario:
     )
     metrics.attach_network(network)
 
+    fault_controller: Optional[FaultController] = None
+    if config.fault_plan is not None and len(config.fault_plan):
+        fault_controller = FaultController(network)
+        fault_controller.apply(config.fault_plan)
+
     return Scenario(
         config=config,
         sim=sim,
@@ -290,6 +323,7 @@ def build_scenario(config: ScenarioConfig) -> Scenario:
         coordinator=coordinator,
         relay_attacker=relay_attacker,
         leash_agents=leash_agents,
+        fault_controller=fault_controller,
     )
 
 

@@ -1,0 +1,42 @@
+"""Fault injection for robustness experiments.
+
+The paper's evaluation assumes a benign environment apart from the
+wormhole itself: nodes never crash, links never flap, the channel never
+degrades.  This package deliberately breaks those assumptions so the
+countermeasure's behaviour under churn can be measured:
+
+- :mod:`repro.faults.plan` — a declarative, JSON-loadable description of
+  *what* goes wrong and *when* (crash-stop, crash-recover, link flap,
+  ambient-loss burst, MAC saturation, energy depletion, clock drift);
+- :mod:`repro.faults.controller` — the executor that arms a plan on a
+  live :class:`~repro.net.network.Network` via simulator timers.
+
+Fault plans are pure data: the same plan applied to the same seeded
+scenario reproduces the exact same run, byte for byte.
+"""
+
+from repro.faults.controller import FaultController
+from repro.faults.plan import (
+    ClockDrift,
+    CrashRecover,
+    CrashStop,
+    EnergyDepletion,
+    Fault,
+    FaultPlan,
+    LinkFlap,
+    LossBurst,
+    MacSaturation,
+)
+
+__all__ = [
+    "ClockDrift",
+    "CrashRecover",
+    "CrashStop",
+    "EnergyDepletion",
+    "Fault",
+    "FaultController",
+    "FaultPlan",
+    "LinkFlap",
+    "LossBurst",
+    "MacSaturation",
+]

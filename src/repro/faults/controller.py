@@ -1,0 +1,130 @@
+"""Fault plan execution.
+
+:class:`FaultController` arms a :class:`~repro.faults.plan.FaultPlan` on a
+live :class:`~repro.net.network.Network`: every fault becomes one or more
+simulator timers that manipulate the physical substrate (node lifecycle,
+channel links and loss, MAC air time, node clocks).  The controller emits
+a ``fault_injected`` trace record at each injection and a
+``fault_cleared`` record when a transient fault's effect ends, so
+experiment post-processing can correlate protocol behaviour with the
+fault timeline.
+
+Determinism: the controller draws no randomness of its own.  All timing
+comes from the plan; MAC-saturation frames go out on the fixed grid
+``at + i / rate``.  Identical seed + identical plan therefore reproduces
+the identical event sequence.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+from repro.faults.plan import (
+    ClockDrift,
+    CrashRecover,
+    CrashStop,
+    EnergyDepletion,
+    Fault,
+    FaultPlan,
+    LinkFlap,
+    LossBurst,
+    MacSaturation,
+)
+from repro.net.network import Network
+from repro.net.packet import NoisePacket
+from repro.sim.trace import TraceLog
+
+
+class FaultController:
+    """Executes fault plans against one network."""
+
+    def __init__(self, network: Network, trace: Optional[TraceLog] = None) -> None:
+        self.network = network
+        self.sim = network.sim
+        self.trace = trace if trace is not None else network.trace
+        self.injected = 0
+        self.cleared = 0
+        self._armed_plans: List[FaultPlan] = []
+        self._noise_sequence = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Arming
+    # ------------------------------------------------------------------
+    def apply(self, plan: FaultPlan) -> None:
+        """Schedule every fault in ``plan``.  May be called before or
+        during the run; faults whose time is already past fire immediately
+        on the next simulator step."""
+        plan_index = len(self._armed_plans)
+        self._armed_plans.append(plan)
+        for fault in plan:
+            self.sim.schedule_at(max(fault.at, self.sim.now), self._inject, fault)
+        if len(plan):
+            self.trace.emit(
+                self.sim.now, "fault_plan_armed", plan=plan_index, faults=len(plan)
+            )
+
+    # ------------------------------------------------------------------
+    # Injection
+    # ------------------------------------------------------------------
+    def _inject(self, fault: Fault) -> None:
+        self.injected += 1
+        self._emit("fault_injected", fault)
+        if isinstance(fault, (CrashStop, EnergyDepletion)):
+            self.network.node(fault.node).fail()
+        elif isinstance(fault, CrashRecover):
+            self.network.node(fault.node).fail()
+            self.sim.schedule(fault.downtime, self._recover, fault)
+        elif isinstance(fault, LinkFlap):
+            self.network.channel.set_link_down(fault.a, fault.b)
+            self.sim.schedule(fault.downtime, self._link_restore, fault)
+        elif isinstance(fault, LossBurst):
+            previous = self.network.channel.ambient_loss
+            self.network.channel.set_ambient_loss(fault.probability)
+            self.sim.schedule(fault.duration, self._loss_restore, fault, previous)
+        elif isinstance(fault, MacSaturation):
+            self._start_saturation(fault)
+        elif isinstance(fault, ClockDrift):
+            self.network.node(fault.node).clock_skew = fault.skew
+        else:  # pragma: no cover - plan validation keeps this unreachable
+            raise TypeError(f"unknown fault type: {fault!r}")
+
+    # ------------------------------------------------------------------
+    # Transient-fault clearing
+    # ------------------------------------------------------------------
+    def _recover(self, fault: CrashRecover) -> None:
+        self.network.node(fault.node).recover()
+        self._clear(fault)
+
+    def _link_restore(self, fault: LinkFlap) -> None:
+        self.network.channel.set_link_up(fault.a, fault.b)
+        self._clear(fault)
+
+    def _loss_restore(self, fault: LossBurst, previous: float) -> None:
+        self.network.channel.set_ambient_loss(previous)
+        self._clear(fault)
+
+    def _start_saturation(self, fault: MacSaturation) -> None:
+        node = self.network.node(fault.node)
+        count = int(fault.duration * fault.rate)
+        for i in range(count):
+            self.sim.schedule(i / fault.rate, self._noise, node, fault.payload_size)
+        self.sim.schedule(fault.duration, self._clear, fault)
+
+    def _noise(self, node, payload_size: int) -> None:
+        node.broadcast(
+            NoisePacket(
+                sender=node.node_id,
+                sequence=next(self._noise_sequence),
+                payload_size=payload_size,
+            ),
+            jitter=0.0,
+        )
+
+    def _clear(self, fault: Fault) -> None:
+        self.cleared += 1
+        self._emit("fault_cleared", fault)
+
+    def _emit(self, kind: str, fault: Fault) -> None:
+        fields = {k: v for k, v in vars(fault).items() if not k.startswith("_")}
+        self.trace.emit(self.sim.now, kind, fault=fault.kind, **fields)

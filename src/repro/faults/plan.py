@@ -1,0 +1,296 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is an ordered collection of scheduled fault events —
+pure data, independent of any live network.  Plans round-trip through
+JSON (:meth:`FaultPlan.to_json` / :meth:`FaultPlan.from_json`) so chaos
+scenarios can be stored alongside experiment configs and replayed
+exactly.
+
+Each fault type is a frozen dataclass with an ``at`` time (seconds into
+the run) and a ``validate`` method raising :class:`ValueError` eagerly —
+a malformed plan fails at construction, not three hundred simulated
+seconds into a run.
+
+Fault taxonomy
+--------------
+``CrashStop``
+    The node halts permanently: radio deaf and silent, MAC queue lost.
+``CrashRecover``
+    As above, but the node reboots after ``downtime`` seconds and re-runs
+    its join procedure (volatile state lost, nonvolatile revocations
+    kept).
+``EnergyDepletion``
+    Battery exhaustion — semantically a permanent crash, kept distinct so
+    traces and reports can attribute the outage correctly.
+``LinkFlap``
+    One symmetric link goes down for ``downtime`` seconds, then returns.
+``LossBurst``
+    The channel-wide ambient loss probability rises to ``probability``
+    for ``duration`` seconds, then returns to its previous value.
+``MacSaturation``
+    A node floods meaningless frames at ``rate`` per second for
+    ``duration`` seconds, congesting its neighborhood.
+``ClockDrift``
+    The node's clock rate is skewed by ``skew`` (e.g. 0.05 = 5% fast),
+    stretching every locally timed interval such as heartbeat periods.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Tuple, Type
+
+from repro.net.packet import NodeId
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Base class: one scheduled fault event."""
+
+    at: float = 0.0
+
+    #: Discriminator used in the JSON encoding; set per subclass.
+    kind = "fault"
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` if the fault is malformed."""
+        _require(self.at >= 0, f"{self.kind}: injection time must be >= 0, got {self.at!r}")
+
+    def end_time(self) -> float:
+        """When the fault's effect (including recovery) is over."""
+        return self.at
+
+
+@dataclass(frozen=True)
+class CrashStop(Fault):
+    """Permanent halt of ``node`` at time ``at``."""
+
+    node: NodeId = 0
+    kind = "crash_stop"
+
+
+@dataclass(frozen=True)
+class EnergyDepletion(Fault):
+    """Battery exhaustion of ``node`` — a permanent halt with its own
+    trace attribution."""
+
+    node: NodeId = 0
+    kind = "energy_depletion"
+
+
+@dataclass(frozen=True)
+class CrashRecover(Fault):
+    """Halt of ``node`` at ``at`` followed by a reboot ``downtime``
+    seconds later."""
+
+    node: NodeId = 0
+    downtime: float = 10.0
+    kind = "crash_recover"
+
+    def validate(self) -> None:
+        super().validate()
+        _require(self.downtime > 0, f"{self.kind}: downtime must be positive, got {self.downtime!r}")
+
+    def end_time(self) -> float:
+        return self.at + self.downtime
+
+
+@dataclass(frozen=True)
+class LinkFlap(Fault):
+    """The symmetric link ``a <-> b`` is severed for ``downtime`` seconds."""
+
+    a: NodeId = 0
+    b: NodeId = 0
+    downtime: float = 5.0
+    kind = "link_flap"
+
+    def validate(self) -> None:
+        super().validate()
+        _require(self.a != self.b, f"{self.kind}: link endpoints must differ, got {self.a!r}")
+        _require(self.downtime > 0, f"{self.kind}: downtime must be positive, got {self.downtime!r}")
+
+    def end_time(self) -> float:
+        return self.at + self.downtime
+
+
+@dataclass(frozen=True)
+class LossBurst(Fault):
+    """Channel-wide ambient loss raised to ``probability`` for
+    ``duration`` seconds."""
+
+    probability: float = 0.1
+    duration: float = 10.0
+    kind = "loss_burst"
+
+    def validate(self) -> None:
+        super().validate()
+        _require(
+            0.0 < self.probability < 1.0,
+            f"{self.kind}: probability must be in (0, 1), got {self.probability!r}",
+        )
+        _require(self.duration > 0, f"{self.kind}: duration must be positive, got {self.duration!r}")
+
+    def end_time(self) -> float:
+        return self.at + self.duration
+
+
+@dataclass(frozen=True)
+class MacSaturation(Fault):
+    """``node`` floods ``rate`` junk frames per second for ``duration``
+    seconds (deterministic schedule: one frame every ``1 / rate``)."""
+
+    node: NodeId = 0
+    duration: float = 5.0
+    rate: float = 50.0
+    payload_size: int = 32
+    kind = "mac_saturation"
+
+    def validate(self) -> None:
+        super().validate()
+        _require(self.duration > 0, f"{self.kind}: duration must be positive, got {self.duration!r}")
+        _require(self.rate > 0, f"{self.kind}: rate must be positive, got {self.rate!r}")
+        _require(
+            self.payload_size > 0,
+            f"{self.kind}: payload_size must be positive, got {self.payload_size!r}",
+        )
+
+    def end_time(self) -> float:
+        return self.at + self.duration
+
+
+@dataclass(frozen=True)
+class ClockDrift(Fault):
+    """``node``'s clock rate is skewed by ``skew`` from time ``at`` on."""
+
+    node: NodeId = 0
+    skew: float = 0.05
+    kind = "clock_drift"
+
+    def validate(self) -> None:
+        super().validate()
+        _require(
+            -0.5 <= self.skew <= 0.5,
+            f"{self.kind}: skew must be within +/-0.5, got {self.skew!r}",
+        )
+
+
+_FAULT_TYPES: Dict[str, Type[Fault]] = {
+    cls.kind: cls
+    for cls in (
+        CrashStop,
+        EnergyDepletion,
+        CrashRecover,
+        LinkFlap,
+        LossBurst,
+        MacSaturation,
+        ClockDrift,
+    )
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, validated schedule of faults.
+
+    Faults are stored sorted by injection time (ties broken by kind then
+    field order) so two plans built from the same events in any order
+    compare — and serialize — identically.
+    """
+
+    faults: Tuple[Fault, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(self.faults, key=lambda f: (f.at, f.kind, tuple(sorted(asdict(f).items()))))
+        )
+        object.__setattr__(self, "faults", ordered)
+        for fault in ordered:
+            fault.validate()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def of(cls, *faults: Fault) -> "FaultPlan":
+        """Build a plan from fault events given in any order."""
+        return cls(faults=tuple(faults))
+
+    def extended(self, *faults: Fault) -> "FaultPlan":
+        """A new plan with ``faults`` added."""
+        return FaultPlan(faults=self.faults + tuple(faults))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def crashed_nodes(self) -> Tuple[NodeId, ...]:
+        """Nodes subject to any crash-class fault, sorted."""
+        nodes = {
+            f.node
+            for f in self.faults
+            if isinstance(f, (CrashStop, CrashRecover, EnergyDepletion))
+        }
+        return tuple(sorted(nodes))
+
+    def permanently_down(self) -> Tuple[NodeId, ...]:
+        """Nodes that never come back (crash-stop / depletion), sorted."""
+        nodes = {f.node for f in self.faults if isinstance(f, (CrashStop, EnergyDepletion))}
+        return tuple(sorted(nodes))
+
+    def end_time(self) -> float:
+        """When the last fault effect is over (0.0 for an empty plan)."""
+        return max((f.end_time() for f in self.faults), default=0.0)
+
+    # ------------------------------------------------------------------
+    # JSON round-trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form: ``{"faults": [{"kind": ..., ...}, ...]}``."""
+        entries: List[Dict[str, Any]] = []
+        for fault in self.faults:
+            entry = {"kind": fault.kind}
+            entry.update(asdict(fault))
+            entries.append(entry)
+        return {"faults": entries}
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize to a stable JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`; unknown kinds raise ValueError."""
+        raw = data.get("faults")
+        if not isinstance(raw, list):
+            raise ValueError("fault plan document must contain a 'faults' list")
+        faults: List[Fault] = []
+        for entry in raw:
+            if not isinstance(entry, dict) or "kind" not in entry:
+                raise ValueError(f"each fault entry needs a 'kind' field, got {entry!r}")
+            kind = entry["kind"]
+            fault_type = _FAULT_TYPES.get(kind)
+            if fault_type is None:
+                known = ", ".join(sorted(_FAULT_TYPES))
+                raise ValueError(f"unknown fault kind {kind!r} (known: {known})")
+            fields = {k: v for k, v in entry.items() if k != "kind"}
+            try:
+                faults.append(fault_type(**fields))
+            except TypeError as exc:
+                raise ValueError(f"bad fields for fault kind {kind!r}: {exc}") from exc
+        return cls(faults=tuple(faults))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a plan from its JSON form."""
+        return cls.from_dict(json.loads(text))

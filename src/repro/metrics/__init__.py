@@ -7,5 +7,11 @@ isolation events, and isolation latency per malicious node.
 """
 
 from repro.metrics.collector import MetricsCollector, MetricsReport
+from repro.metrics.robustness import RobustnessCollector, RobustnessReport
 
-__all__ = ["MetricsCollector", "MetricsReport"]
+__all__ = [
+    "MetricsCollector",
+    "MetricsReport",
+    "RobustnessCollector",
+    "RobustnessReport",
+]

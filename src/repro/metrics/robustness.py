@@ -1,0 +1,242 @@
+"""Robustness metrics for chaos experiments.
+
+:class:`RobustnessCollector` rides alongside the paper-facing
+:class:`~repro.metrics.collector.MetricsCollector` and accumulates the
+quantities that matter under fault injection:
+
+- **false-isolation rate** — the fraction of crashed *honest* nodes that
+  some peer nonetheless revoked (the failure the liveness layer exists to
+  prevent: a crashed node drops everything, exactly like a wormhole);
+- **detection latency under churn** — time from attack start to the first
+  guard detection of a genuinely malicious node, with faults active;
+- **alert delivery ratio** — distinct (guard, accused, recipient) alert
+  triples accepted over triples sent, measuring dissemination robustness
+  when alerts race crashes and loss bursts;
+- liveness bookkeeping: suspicions, death declarations, recoveries,
+  suspended accusations, alert retransmissions, faults injected/cleared.
+
+Everything is derived from trace records, so the collector works with any
+scenario that emits the standard kinds — no protocol object references
+needed.  All report fields and :meth:`RobustnessReport.format` output are
+deterministic functions of the trace: identical seed + identical fault
+plan reproduce them byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Sequence, Set, Tuple
+
+from repro.net.packet import NodeId
+from repro.sim.trace import TraceLog, TraceRecord
+
+AlertTriple = Tuple[NodeId, NodeId, NodeId]  # (guard, accused, recipient)
+
+
+@dataclass
+class RobustnessReport:
+    """Immutable summary produced by :meth:`RobustnessCollector.report`."""
+
+    duration: float
+    crashed_honest: Tuple[NodeId, ...]
+    falsely_isolated: Tuple[NodeId, ...]
+    first_detection: Optional[float]
+    attack_start: float
+    faults_injected: int
+    faults_cleared: int
+    suspicions: int
+    deaths_declared: int
+    recoveries_observed: int
+    suspended_accusations: int
+    alerts_sent_unique: int
+    alerts_delivered_unique: int
+    alert_retransmits: int
+    false_isolation_events: Dict[NodeId, int] = field(default_factory=dict)
+
+    @property
+    def false_isolation_rate(self) -> float:
+        """Crashed honest nodes revoked by at least one peer, as a
+        fraction of all crashed honest nodes (0.0 when none crashed)."""
+        if not self.crashed_honest:
+            return 0.0
+        return len(self.falsely_isolated) / len(self.crashed_honest)
+
+    @property
+    def alert_delivery_ratio(self) -> float:
+        """Distinct alert triples accepted over distinct triples sent
+        (1.0 when no alerts were needed)."""
+        if self.alerts_sent_unique == 0:
+            return 1.0
+        return self.alerts_delivered_unique / self.alerts_sent_unique
+
+    @property
+    def detection_latency(self) -> Optional[float]:
+        """Seconds from attack start to the first guard detection of a
+        malicious node, or None if never detected."""
+        if self.first_detection is None:
+            return None
+        return max(0.0, self.first_detection - self.attack_start)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable summary."""
+        return {
+            "duration": self.duration,
+            "crashed_honest": list(self.crashed_honest),
+            "falsely_isolated": list(self.falsely_isolated),
+            "false_isolation_rate": self.false_isolation_rate,
+            "detection_latency": self.detection_latency,
+            "faults_injected": self.faults_injected,
+            "faults_cleared": self.faults_cleared,
+            "suspicions": self.suspicions,
+            "deaths_declared": self.deaths_declared,
+            "recoveries_observed": self.recoveries_observed,
+            "suspended_accusations": self.suspended_accusations,
+            "alerts_sent_unique": self.alerts_sent_unique,
+            "alerts_delivered_unique": self.alerts_delivered_unique,
+            "alert_delivery_ratio": self.alert_delivery_ratio,
+            "alert_retransmits": self.alert_retransmits,
+        }
+
+    def format(self) -> str:
+        """Stable plain-text rendering (used for byte-identical
+        determinism checks and the CLI)."""
+        latency = self.detection_latency
+        lines = [
+            "robustness report",
+            f"  duration              {self.duration:.1f} s",
+            f"  faults injected       {self.faults_injected} (cleared {self.faults_cleared})",
+            f"  crashed honest nodes  {len(self.crashed_honest)}"
+            f" {list(self.crashed_honest)}",
+            f"  falsely isolated      {len(self.falsely_isolated)}"
+            f" {list(self.falsely_isolated)}",
+            f"  false-isolation rate  {self.false_isolation_rate:.3f}",
+            "  detection latency     "
+            + (f"{latency:.3f} s" if latency is not None else "n/a"),
+            f"  suspicions            {self.suspicions}",
+            f"  deaths declared       {self.deaths_declared}",
+            f"  recoveries observed   {self.recoveries_observed}",
+            f"  suspended accusations {self.suspended_accusations}",
+            f"  alerts sent (unique)  {self.alerts_sent_unique}",
+            f"  alerts delivered      {self.alerts_delivered_unique}"
+            f" (ratio {self.alert_delivery_ratio:.3f})",
+            f"  alert retransmits     {self.alert_retransmits}",
+        ]
+        return "\n".join(lines)
+
+
+class RobustnessCollector:
+    """Live accumulator for robustness quantities.
+
+    Parameters
+    ----------
+    trace:
+        The experiment's trace log; subscriptions are installed here.
+    malicious_ids:
+        Ground-truth malicious node set (detection-latency attribution).
+    crashed_honest:
+        Ground-truth honest nodes subject to crash-class faults — the
+        population at risk of false isolation.
+    attack_start:
+        When the wormhole activates (detection latency reference point).
+    """
+
+    def __init__(
+        self,
+        trace: TraceLog,
+        malicious_ids: Sequence[NodeId] = (),
+        crashed_honest: Sequence[NodeId] = (),
+        attack_start: float = 0.0,
+    ) -> None:
+        self.malicious: FrozenSet[NodeId] = frozenset(malicious_ids)
+        self.crashed_honest: Tuple[NodeId, ...] = tuple(sorted(set(crashed_honest)))
+        self.attack_start = attack_start
+        self.faults_injected = 0
+        self.faults_cleared = 0
+        self.suspicions = 0
+        self.deaths_declared = 0
+        self.recoveries_observed = 0
+        self.suspended_accusations = 0
+        self.alert_retransmits = 0
+        self.first_detection: Optional[float] = None
+        self.false_isolation_events: Dict[NodeId, int] = {}
+        self._alerts_sent: Set[AlertTriple] = set()
+        self._alerts_delivered: Set[AlertTriple] = set()
+        self._crashed_set = frozenset(self.crashed_honest)
+        self._last_time = 0.0
+        trace.subscribe("fault_injected", self._on_fault)
+        trace.subscribe("fault_cleared", self._on_cleared)
+        trace.subscribe("neighbor_suspect", self._count("suspicions"))
+        trace.subscribe("neighbor_dead", self._count("deaths_declared"))
+        trace.subscribe("neighbor_recovered", self._count("recoveries_observed"))
+        trace.subscribe("malc_suspended", self._count("suspended_accusations"))
+        trace.subscribe("alert_retransmit", self._count("alert_retransmits"))
+        trace.subscribe("alert_sent", self._on_alert_sent)
+        trace.subscribe("alert_accepted", self._on_alert_accepted)
+        trace.subscribe("guard_detection", self._on_detection)
+        trace.subscribe("isolation", self._on_isolation)
+
+    # ------------------------------------------------------------------
+    # Subscriptions
+    # ------------------------------------------------------------------
+    def _count(self, attribute: str):
+        def bump(record: TraceRecord) -> None:
+            setattr(self, attribute, getattr(self, attribute) + 1)
+            self._last_time = record.time
+
+        return bump
+
+    def _on_fault(self, record: TraceRecord) -> None:
+        self.faults_injected += 1
+        self._last_time = record.time
+
+    def _on_cleared(self, record: TraceRecord) -> None:
+        self.faults_cleared += 1
+        self._last_time = record.time
+
+    def _on_alert_sent(self, record: TraceRecord) -> None:
+        self._alerts_sent.add((record["guard"], record["accused"], record["recipient"]))
+        self._last_time = record.time
+
+    def _on_alert_accepted(self, record: TraceRecord) -> None:
+        self._alerts_delivered.add((record["guard"], record["accused"], record["node"]))
+        self._last_time = record.time
+
+    def _on_detection(self, record: TraceRecord) -> None:
+        accused = record["accused"]
+        if accused in self.malicious and self.first_detection is None:
+            self.first_detection = record.time
+        self._note_revocation(accused)
+        self._last_time = record.time
+
+    def _on_isolation(self, record: TraceRecord) -> None:
+        self._note_revocation(record["accused"])
+        self._last_time = record.time
+
+    def _note_revocation(self, accused: NodeId) -> None:
+        if accused in self._crashed_set:
+            self.false_isolation_events[accused] = (
+                self.false_isolation_events.get(accused, 0) + 1
+            )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self, duration: Optional[float] = None) -> RobustnessReport:
+        """Snapshot the accumulated robustness metrics."""
+        return RobustnessReport(
+            duration=duration if duration is not None else self._last_time,
+            crashed_honest=self.crashed_honest,
+            falsely_isolated=tuple(sorted(self.false_isolation_events)),
+            first_detection=self.first_detection,
+            attack_start=self.attack_start,
+            faults_injected=self.faults_injected,
+            faults_cleared=self.faults_cleared,
+            suspicions=self.suspicions,
+            deaths_declared=self.deaths_declared,
+            recoveries_observed=self.recoveries_observed,
+            suspended_accusations=self.suspended_accusations,
+            alerts_sent_unique=len(self._alerts_sent),
+            alerts_delivered_unique=len(self._alerts_delivered),
+            alert_retransmits=self.alert_retransmits,
+            false_isolation_events=dict(self.false_isolation_events),
+        )

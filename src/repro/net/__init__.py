@@ -22,13 +22,18 @@ from repro.net.mac import CsmaMac, MacConfig
 from repro.net.node import Node
 from repro.net.network import Network, NetworkConfig
 from repro.net.packet import (
+    AlertAckPacket,
     AlertPacket,
     DataPacket,
     Frame,
+    HeartbeatPacket,
     HelloPacket,
     HelloReplyPacket,
     NeighborListPacket,
+    NoisePacket,
     Packet,
+    ProbeAckPacket,
+    ProbePacket,
     RouteReply,
     RouteRequest,
 )
@@ -42,15 +47,20 @@ from repro.net.topology import (
 )
 
 __all__ = [
+    "AlertAckPacket",
     "AlertPacket",
     "Channel",
     "CsmaMac",
     "DataPacket",
     "Frame",
+    "HeartbeatPacket",
     "HelloPacket",
     "HelloReplyPacket",
     "MacConfig",
     "NeighborListPacket",
+    "NoisePacket",
+    "ProbeAckPacket",
+    "ProbePacket",
     "Network",
     "NetworkConfig",
     "Node",

@@ -22,7 +22,7 @@ The channel does not queue or defer; carrier sensing and backoff live in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.net.packet import Frame, NodeId
 from repro.net.radio import UnitDiskRadio, distance
@@ -86,9 +86,11 @@ class Channel:
         self._bandwidth = float(bandwidth_bps)
         self._ambient_loss = float(ambient_loss)
         self._capture_ratio = float(capture_ratio)
+        self._blocked_links: Set[Tuple[NodeId, NodeId]] = set()
         self._in_flight: Dict[NodeId, List[Reception]] = {}
         self._tx_until: Dict[NodeId, float] = {}
         self._delivery_handlers: Dict[NodeId, Callable[[Frame], None]] = {}
+        self._receive_gates: Dict[NodeId, Callable[[], bool]] = {}
         self._stampers: Dict[NodeId, Callable[[Frame], Frame]] = {}
         self._loss_handlers: Dict[NodeId, Callable[[float], None]] = {}
         self._tx_observers: List[Callable[[NodeId, Frame, float], None]] = []
@@ -102,6 +104,13 @@ class Channel:
     def attach(self, node: NodeId, handler: Callable[[Frame], None]) -> None:
         """Register the frame-delivery handler for ``node``."""
         self._delivery_handlers[node] = handler
+
+    def set_receive_gate(self, node: NodeId, gate: Callable[[], bool]) -> None:
+        """Register a predicate consulted at transmission time: when it
+        returns False the node's radio is off (crashed / depleted) and no
+        reception is created at all — in particular the link-layer ack of
+        a unicast to it never comes."""
+        self._receive_gates[node] = gate
 
     def set_frame_stamper(self, node: NodeId, stamper: Callable[[Frame], Frame]) -> None:
         """Transform every frame ``node`` transmits, at the moment of
@@ -126,6 +135,38 @@ class Channel:
         """Observe every finished reception, decodable or not (the energy
         meter charges radios for listening either way)."""
         self._reception_observers.append(observer)
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    @property
+    def ambient_loss(self) -> float:
+        """Current independent per-reception loss probability."""
+        return self._ambient_loss
+
+    def set_ambient_loss(self, probability: float) -> None:
+        """Change the ambient loss probability mid-run (loss bursts)."""
+        if not 0.0 <= probability < 1.0:
+            raise ValueError(f"ambient_loss must be in [0, 1), got {probability!r}")
+        self._ambient_loss = float(probability)
+
+    def set_link_down(self, a: NodeId, b: NodeId) -> None:
+        """Sever the symmetric radio link a <-> b (link-flap faults).
+        Neither endpoint hears the other while the link is down; everyone
+        else is unaffected."""
+        self._blocked_links.add(self._link_key(a, b))
+
+    def set_link_up(self, a: NodeId, b: NodeId) -> None:
+        """Restore a link severed by :meth:`set_link_down`.  Idempotent."""
+        self._blocked_links.discard(self._link_key(a, b))
+
+    def link_is_down(self, a: NodeId, b: NodeId) -> bool:
+        """Whether the a <-> b link is currently severed."""
+        return self._link_key(a, b) in self._blocked_links
+
+    @staticmethod
+    def _link_key(a: NodeId, b: NodeId) -> Tuple[NodeId, NodeId]:
+        return (a, b) if a <= b else (b, a)
 
     # ------------------------------------------------------------------
     # Medium state
@@ -186,6 +227,11 @@ class Channel:
         destination_covered = False
         for receiver in self._radio.coverage(sender, tx_range):
             if receiver not in self._delivery_handlers:
+                continue
+            if self._blocked_links and self.link_is_down(sender, receiver):
+                continue
+            gate = self._receive_gates.get(receiver)
+            if gate is not None and not gate():
                 continue
             dist = distance(sender_pos, self._radio.position(receiver))
             reception = Reception(

@@ -79,6 +79,7 @@ class CsmaMac:
         self._trace = trace
         self._queue: Deque[Tuple[Frame, Optional[float], int]] = deque()
         self._busy = False
+        self.enabled = True
         self.sent = 0
         self.dropped = 0
         self.arq_failures = 0
@@ -88,6 +89,17 @@ class CsmaMac:
         """Frames waiting for the medium (excluding one in service)."""
         return len(self._queue)
 
+    def disable(self) -> None:
+        """Crash support: drop the queue and refuse service until
+        :meth:`enable`.  Pending scheduler events drain as no-ops."""
+        self.enabled = False
+        self.dropped += len(self._queue)
+        self._queue.clear()
+
+    def enable(self) -> None:
+        """Resume service after :meth:`disable` (the queue starts empty)."""
+        self.enabled = True
+
     def send(self, frame: Frame, jitter: Optional[float] = None, tx_range: Optional[float] = None) -> None:
         """Enqueue a frame.
 
@@ -95,6 +107,9 @@ class CsmaMac:
         pass ``0.0`` to transmit as soon as the medium allows (the rushing
         attacker does this).  ``None`` selects the configured default.
         """
+        if not self.enabled:
+            self.dropped += 1
+            return
         self._queue.append((frame, tx_range, 0))
         effective = self._config.default_jitter if jitter is None else jitter
         if not self._busy:
@@ -103,7 +118,7 @@ class CsmaMac:
             self._sim.schedule(delay, self._attempt, 0)
 
     def _attempt(self, attempt: int) -> None:
-        if not self._queue:
+        if not self.enabled or not self._queue:
             self._busy = False
             return
         if self._channel.is_busy(self._node):
@@ -136,6 +151,9 @@ class CsmaMac:
         self._sim.schedule(duration, self._next_frame)
 
     def _arq_outcome(self, delivered: bool, frame: Frame, tx_range: Optional[float], tries: int) -> None:
+        if not self.enabled:
+            self._busy = False
+            return
         if not delivered and tries < self._config.arq_retries:
             # Retransmit ahead of anything queued later, after a short backoff.
             self._queue.appendleft((frame, tx_range, tries + 1))

@@ -9,7 +9,7 @@ exposes lookup helpers the protocol layers use.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.net.channel import Channel
 from repro.net.mac import CsmaMac, MacConfig
@@ -71,6 +71,7 @@ class Network:
             node = Node(node_id, position, mac)
             self.nodes[node_id] = node
             self.channel.attach(node_id, node.deliver)
+            self.channel.set_receive_gate(node_id, lambda n=node: n.alive)
 
     # ------------------------------------------------------------------
     # Lookup helpers

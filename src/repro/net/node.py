@@ -25,6 +25,7 @@ from repro.net.packet import Frame, NodeId, Packet
 FrameFilter = Callable[[Frame], bool]
 FrameListener = Callable[[Frame], None]
 SendFilter = Callable[[Frame], bool]
+LifecycleListener = Callable[[bool], None]
 
 
 class Node:
@@ -34,12 +35,16 @@ class Node:
         self.node_id = node_id
         self.position = position
         self.mac = mac
+        self.alive = True
+        self.clock_skew = 0.0
         self._filters: List[FrameFilter] = []
         self._listeners: List[FrameListener] = []
         self._observers: List[FrameListener] = []
         self._send_filters: List[SendFilter] = []
+        self._lifecycle_listeners: List[LifecycleListener] = []
         self.frames_received = 0
         self.frames_rejected = 0
+        self.crashes = 0
 
     # ------------------------------------------------------------------
     # Pipeline wiring
@@ -61,11 +66,48 @@ class Node:
         (LITEWORP refuses to send to revoked nodes)."""
         self._send_filters.append(send_filter)
 
+    def add_lifecycle_listener(self, listener: LifecycleListener) -> None:
+        """Called with ``alive`` whenever the node fails or recovers —
+        protocol agents use this to drop volatile state on a crash and
+        rejoin on reboot."""
+        self._lifecycle_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Fault lifecycle
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Crash-stop: the radio goes silent and deaf until :meth:`recover`.
+
+        Frames already on the air keep propagating (a real crash truncates
+        mid-frame; the difference is below the channel model's resolution).
+        Queued, not-yet-transmitted frames are dropped with the MAC.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.crashes += 1
+        self.mac.disable()
+        for listener in self._lifecycle_listeners:
+            listener(False)
+
+    def recover(self) -> None:
+        """Reboot after a crash: the radio comes back with an empty queue;
+        protocol agents re-run their join procedures via the lifecycle
+        listeners."""
+        if self.alive:
+            return
+        self.alive = True
+        self.mac.enable()
+        for listener in self._lifecycle_listeners:
+            listener(True)
+
     # ------------------------------------------------------------------
     # Receive path (channel delivery handler)
     # ------------------------------------------------------------------
     def deliver(self, frame: Frame) -> None:
         """Entry point registered with the channel."""
+        if not self.alive:
+            return
         self.frames_received += 1
         for observer in self._observers:
             observer(frame)
@@ -110,6 +152,8 @@ class Node:
         return self._submit(frame, jitter, tx_range)
 
     def _submit(self, frame: Frame, jitter: Optional[float], tx_range: Optional[float]) -> bool:
+        if not self.alive:
+            return False
         for send_filter in self._send_filters:
             if not send_filter(frame):
                 return False

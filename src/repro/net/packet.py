@@ -227,6 +227,82 @@ class RouteErrorPacket(Packet):
 
 
 @dataclass(frozen=True)
+class HeartbeatPacket(Packet):
+    """One-hop liveness beacon (liveness refinement, DESIGN.md 5b item 5).
+
+    Broadcast periodically so neighbors can tell a crashed node from a
+    malicious dropper.  Never monitored: heartbeats are one-hop and carry
+    no forwarding obligation.
+    """
+
+    sender: NodeId = 0
+    sequence: int = 0
+
+    def key(self) -> Tuple[Any, ...]:
+        return ("HBEAT", self.sender, self.sequence)
+
+    @property
+    def size_bytes(self) -> int:
+        return 12
+
+
+@dataclass(frozen=True)
+class ProbePacket(Packet):
+    """Unicast liveness probe sent to a SUSPECT neighbor."""
+
+    sender: NodeId = 0
+    target: NodeId = 0
+    nonce: int = 0
+
+    def key(self) -> Tuple[Any, ...]:
+        return ("PROBE", self.sender, self.target, self.nonce)
+
+    @property
+    def size_bytes(self) -> int:
+        return 16
+
+
+@dataclass(frozen=True)
+class ProbeAckPacket(Packet):
+    """Reply to a :class:`ProbePacket`, echoing its nonce."""
+
+    sender: NodeId = 0
+    target: NodeId = 0
+    nonce: int = 0
+
+    def key(self) -> Tuple[Any, ...]:
+        return ("PROBE_ACK", self.sender, self.target, self.nonce)
+
+    @property
+    def size_bytes(self) -> int:
+        return 16
+
+
+@dataclass(frozen=True)
+class NoisePacket(Packet):
+    """Meaningless filler traffic used by the MAC-saturation fault.
+
+    No protocol layer listens for it; its only effect is to occupy air
+    time and collide with legitimate frames.
+    """
+
+    sender: NodeId = 0
+    sequence: int = 0
+    payload_size: int = 32
+
+    def key(self) -> Tuple[Any, ...]:
+        return ("NOISE", self.sender, self.sequence)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.payload_size
+
+    @property
+    def is_control(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
 class AlertPacket(Packet):
     """Authenticated accusation sent by a guard to a neighbor of the accused.
 
@@ -243,6 +319,31 @@ class AlertPacket(Packet):
 
     def key(self) -> Tuple[Any, ...]:
         return ("ALERT", self.guard, self.accused, self.recipient)
+
+    @property
+    def size_bytes(self) -> int:
+        return 24
+
+
+@dataclass(frozen=True)
+class AlertAckPacket(Packet):
+    """Authenticated acknowledgment of a received alert.
+
+    Sent only when bounded alert retransmission is enabled
+    (``LiteworpConfig.alert_retries`` > 0): the recipient confirms the
+    accusation arrived so the guard stops retransmitting.  ``relay_via``
+    mirrors the alert's one-relay delivery for two-hop guard/recipient
+    pairs.
+    """
+
+    sender: NodeId = 0
+    guard: NodeId = 0
+    accused: NodeId = 0
+    auth: bytes = b""
+    relay_via: Optional[NodeId] = None
+
+    def key(self) -> Tuple[Any, ...]:
+        return ("ALERT_ACK", self.sender, self.guard, self.accused)
 
     @property
     def size_bytes(self) -> int:

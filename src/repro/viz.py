@@ -7,7 +7,7 @@ Used by examples and handy in a REPL; kept dependency-free.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Sequence, Tuple
 
 from repro.net.packet import NodeId
 

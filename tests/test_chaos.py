@@ -1,0 +1,100 @@
+"""Chaos runner plumbing: config validation, plan derivation, wiring.
+
+Full chaos runs (both liveness arms) live in
+``benchmarks/test_bench_chaos.py``; these tests cover the cheap parts —
+plan derivation is deterministic, targets come from the guard pool, and
+the scenario config carries the liveness ablation correctly.
+"""
+
+import pytest
+
+from repro.experiments.chaos import (
+    ChaosConfig,
+    guard_pool,
+    make_chaos_plan,
+)
+from repro.experiments.scenario import build_scenario
+from repro.faults.plan import CrashRecover, CrashStop, LossBurst
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="crash_fraction"):
+        ChaosConfig(crash_fraction=1.5)
+    with pytest.raises(ValueError, match="recover_fraction"):
+        ChaosConfig(recover_fraction=-0.1)
+    with pytest.raises(ValueError, match="loss_probability"):
+        ChaosConfig(loss_probability=1.0)
+    with pytest.raises(ValueError, match="crash_at"):
+        ChaosConfig(attack_start=100.0, crash_at=90.0)
+    with pytest.raises(ValueError, match="inside the run"):
+        ChaosConfig(duration=100.0, crash_at=150.0, attack_start=40.0)
+    with pytest.raises(ValueError, match="data_rate"):
+        ChaosConfig(data_rate=0.0)
+    with pytest.raises(ValueError, match="route_timeout"):
+        ChaosConfig(route_timeout=-1.0)
+    with pytest.raises(ValueError, match="v_drop"):
+        ChaosConfig(v_drop=0)
+
+
+def test_scenario_config_carries_liveness_ablation():
+    on = ChaosConfig(liveness=True).scenario_config()
+    off = ChaosConfig(liveness=False).scenario_config()
+    assert on.liteworp.heartbeat_period == ChaosConfig().heartbeat_period
+    assert off.liteworp.heartbeat_period is None
+    for config in (on, off):
+        assert config.liteworp.watch_data is True
+        assert config.liteworp.v_drop == ChaosConfig().v_drop
+        assert config.routing.route_timeout == ChaosConfig().route_timeout
+        assert config.traffic.data_rate == ChaosConfig().data_rate
+        assert config.attack_mode == "outofband"
+
+
+def test_plan_is_deterministic_and_arm_independent():
+    config = ChaosConfig(seed=7)
+    plan = make_chaos_plan(config)
+    assert plan == make_chaos_plan(ChaosConfig(seed=7))
+    # The ablation arm must face the identical fault plan.
+    assert plan == make_chaos_plan(ChaosConfig(seed=7, liveness=False))
+    assert plan != make_chaos_plan(ChaosConfig(seed=8))
+
+
+def test_crash_targets_drawn_from_guard_pool():
+    config = ChaosConfig(seed=7, crash_fraction=0.3)
+    scenario = build_scenario(config.scenario_config())
+    pool = guard_pool(scenario)
+    assert pool  # the wormhole always has honest neighbors
+    assert set(pool).isdisjoint(set(scenario.malicious_ids))
+    plan = make_chaos_plan(config)
+    crashed = plan.crashed_nodes()
+    assert set(crashed) <= set(pool)
+    assert len(crashed) == max(1, round(0.3 * len(pool)))
+
+
+def test_crashes_are_staggered_and_burst_included():
+    config = ChaosConfig(seed=7, crash_spacing=2.0)
+    plan = make_chaos_plan(config)
+    crash_times = sorted(
+        f.at for f in plan if isinstance(f, (CrashStop, CrashRecover))
+    )
+    assert crash_times[0] == config.crash_at
+    deltas = {
+        round(b - a, 6) for a, b in zip(crash_times, crash_times[1:])
+    }
+    assert deltas <= {2.0}
+    bursts = [f for f in plan if isinstance(f, LossBurst)]
+    assert len(bursts) == 1
+    assert bursts[0].probability == config.loss_probability
+
+
+def test_recover_fraction_splits_fault_types():
+    config = ChaosConfig(seed=7, recover_fraction=1.0, downtime=30.0)
+    plan = make_chaos_plan(config)
+    assert not [f for f in plan if isinstance(f, CrashStop)]
+    recovers = [f for f in plan if isinstance(f, CrashRecover)]
+    assert recovers and all(f.downtime == 30.0 for f in recovers)
+    assert plan.permanently_down() == ()
+
+
+def test_zero_loss_omits_burst():
+    plan = make_chaos_plan(ChaosConfig(seed=7, loss_probability=0.0))
+    assert not [f for f in plan if isinstance(f, LossBurst)]

@@ -72,3 +72,12 @@ def test_run_command_json_output(tmp_path, capsys):
     payload = json.loads(target.read_text())
     assert payload["wormhole_drops"] == 0
     assert payload["originated"] >= 0
+
+
+def test_chaos_parser_defaults():
+    args = build_parser().parse_args(["chaos", "--no-liveness", "--seed", "9"])
+    assert args.command == "chaos"
+    assert args.liveness is False
+    assert args.seed == 9
+    assert args.crash_fraction == 0.2
+    assert args.loss == 0.10

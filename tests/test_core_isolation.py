@@ -1,6 +1,5 @@
 """Tests for the alert / isolation protocol over a real (dense) network."""
 
-import pytest
 
 from repro.core.agent import LiteworpAgent
 from repro.core.config import LiteworpConfig

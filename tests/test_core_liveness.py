@@ -1,0 +1,140 @@
+"""LivenessManager: the heartbeat/probe failure detector state machine."""
+
+from repro.core.agent import LiteworpAgent
+from repro.core.config import LiteworpConfig
+from repro.core.liveness import ALIVE, DEAD, SUSPECT
+from repro.crypto.keys import PairwiseKeyManager
+from repro.net.topology import grid_topology
+from tests.conftest import Harness
+
+
+def liveness_config(**overrides) -> LiteworpConfig:
+    base = dict(
+        heartbeat_period=0.5,
+        liveness_timeout_beats=3.0,
+        probe_retries=2,
+        probe_backoff=0.2,
+    )
+    base.update(overrides)
+    return LiteworpConfig(**base)
+
+
+def build_agents(harness: Harness, config: LiteworpConfig, configs=None):
+    """One activated agent per node; ``configs`` overrides per node id."""
+    keys = PairwiseKeyManager()
+    adjacency = harness.topology.adjacency()
+    agents = {}
+    for node_id in harness.topology.node_ids:
+        node_config = (configs or {}).get(node_id, config)
+        agent = LiteworpAgent(
+            harness.sim,
+            harness.node(node_id),
+            keys.enroll(node_id),
+            node_config,
+            harness.trace,
+        )
+        agent.install_oracle(adjacency)
+        agents[node_id] = agent
+    return agents
+
+
+def test_silent_neighbor_goes_suspect_then_dead():
+    harness = Harness(grid_topology(columns=3, rows=1, spacing=20.0, tx_range=30.0))
+    agents = build_agents(harness, liveness_config())
+    harness.sim.schedule_at(3.0, harness.node(2).fail)
+    harness.run(15.0)
+    assert agents[1].liveness.state_of(2) == DEAD
+    suspect = harness.trace.first("neighbor_suspect", node=1, neighbor=2)
+    dead = harness.trace.first("neighbor_dead", node=1, neighbor=2)
+    assert suspect is not None and dead is not None
+    assert 3.0 < suspect.time < dead.time
+    assert agents[1].liveness.dead_neighbors() == (2,)
+
+
+def test_suspect_suspends_accusations_before_death():
+    """Between SUSPECT and DEAD the node is still alive for routing but
+    no longer accusable — silence under adjudication is not evidence."""
+    harness = Harness(grid_topology(columns=3, rows=1, spacing=20.0, tx_range=30.0))
+    agents = build_agents(harness, liveness_config())
+    seen = []
+
+    def on_suspect(record):
+        if record["node"] == 1 and record["neighbor"] == 2:
+            liveness = agents[1].liveness
+            seen.append((liveness.is_alive(2), liveness.is_accusable(2)))
+
+    harness.trace.subscribe("neighbor_suspect", on_suspect)
+    harness.sim.schedule_at(3.0, harness.node(2).fail)
+    harness.run(15.0)
+    assert seen and seen[0] == (True, False)
+    assert not agents[1].liveness.is_alive(2)  # DEAD by the end
+    assert agents[1].liveness.state_of(2) == DEAD
+
+
+def test_quiet_but_responsive_neighbor_survives_probing():
+    """A neighbor that stops heartbeating but still answers probes is
+    cleared back to ALIVE and never declared dead."""
+    harness = Harness(grid_topology(columns=2, rows=1, spacing=20.0, tx_range=30.0))
+    quiet = liveness_config(heartbeat_period=120.0)  # one beat, then silence
+    agents = build_agents(harness, liveness_config(), configs={1: quiet})
+    harness.run(20.0)
+    assert harness.trace.count("neighbor_suspect", node=0, neighbor=1) >= 1
+    assert harness.trace.count("neighbor_dead") == 0
+    assert agents[0].liveness.state_of(1) == ALIVE
+
+
+def test_reboot_recovers_dead_neighbor():
+    harness = Harness(grid_topology(columns=2, rows=1, spacing=20.0, tx_range=30.0))
+    agents = build_agents(harness, liveness_config())
+    harness.sim.schedule_at(3.0, harness.node(1).fail)
+    harness.sim.schedule_at(12.0, harness.node(1).recover)
+    harness.run(25.0)
+    assert agents[0].liveness.state_of(1) == ALIVE
+    dead = harness.trace.first("neighbor_dead", node=0, neighbor=1)
+    recovered = harness.trace.first("neighbor_recovered", node=0, neighbor=1)
+    assert dead is not None and recovered is not None
+    assert dead.time < 12.0 < recovered.time
+    assert agents[0].liveness.recoveries_seen == 1
+
+
+def test_death_exonerates_accrued_malc():
+    """MalC mass accrued by a node's silence is voided when its guard
+    learns the silence was a crash (``exonerate_dead``)."""
+    harness = Harness(grid_topology(columns=2, rows=1, spacing=20.0, tx_range=30.0))
+    agents = build_agents(harness, liveness_config())
+    table = agents[0].table
+    table.record_malicious(1, 5, now=2.0, window=200.0)
+    harness.sim.schedule_at(3.0, harness.node(1).fail)
+    harness.run(15.0)
+    assert agents[0].liveness.state_of(1) == DEAD
+    assert table.malc(1, harness.sim.now, 200.0) == 0
+
+
+def test_dead_neighbor_unusable_for_routing_until_recovery():
+    harness = Harness(grid_topology(columns=2, rows=1, spacing=20.0, tx_range=30.0))
+    agents = build_agents(harness, liveness_config())
+    harness.sim.schedule_at(3.0, harness.node(1).fail)
+    harness.run(15.0)
+    assert not agents[0].is_usable(1)
+    harness.node(1).recover()
+    harness.run(20.0)
+    assert agents[0].is_usable(1)
+
+
+def test_crash_resets_own_liveness_state():
+    """A rebooted node has no memory of who it suspected before."""
+    harness = Harness(grid_topology(columns=2, rows=1, spacing=20.0, tx_range=30.0))
+    agents = build_agents(harness, liveness_config())
+    harness.sim.schedule_at(3.0, harness.node(1).fail)
+    harness.run(15.0)
+    assert agents[0].liveness.state_of(1) == DEAD
+    harness.node(0).fail()
+    assert not agents[0].liveness.running
+    assert agents[0].liveness.state_of(1) == ALIVE  # forgotten, not known-dead
+    harness.node(0).recover()
+    harness.run(16.0)
+    assert agents[0].liveness.running
+
+
+def test_states_are_exported_constants():
+    assert (ALIVE, SUSPECT, DEAD) == ("alive", "suspect", "dead")

@@ -5,7 +5,6 @@ behaviour (fabrication, drop, clearing, grace suppression, windows) is
 isolated.
 """
 
-import pytest
 
 from repro.core.config import LiteworpConfig
 from repro.core.monitor import LocalMonitor

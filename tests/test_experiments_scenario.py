@@ -119,6 +119,33 @@ def test_config_validation():
         ScenarioConfig(duration=40.0, attack_start=50.0)
 
 
+@pytest.mark.parametrize(
+    "kwargs, fragment",
+    [
+        ({"n_nodes": 3}, "at least 4 nodes"),
+        ({"tx_range": 0.0}, "tx_range must be positive"),
+        ({"tx_range": -5.0}, "tx_range must be positive"),
+        ({"avg_neighbors": 0.0}, "avg_neighbors must be positive"),
+        ({"duration": 0.0}, "duration must be positive"),
+        ({"attack_start": -1.0}, "attack_start must be non-negative"),
+        ({"malicious_min_separation": -1}, "must be non-negative"),
+        ({"encap_hop_delay": -0.1}, "encap_hop_delay must be non-negative"),
+        ({"highpower_multiplier": 0.0}, "highpower_multiplier must be positive"),
+        ({"defense": "tinfoil"}, "defense must be one of"),
+    ],
+)
+def test_config_validation_is_eager_with_clear_messages(kwargs, fragment):
+    """A malformed config must fail at construction, naming the offending
+    field and the value it got."""
+    with pytest.raises(ValueError, match=fragment):
+        ScenarioConfig(**kwargs)
+
+
+def test_config_validation_reports_offending_value():
+    with pytest.raises(ValueError, match=r"got -1\.0"):
+        ScenarioConfig(tx_range=-1.0)
+
+
 def test_oracle_mode_default_activates_immediately():
     config = ScenarioConfig(n_nodes=20, duration=60.0, seed=4, attack_start=20.0)
     scenario = build_scenario(config)

@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.experiments.scenario import ScenarioConfig, run_scenario
-from repro.experiments.stats import Summary, summarize, summarize_optional
+from repro.experiments.stats import summarize, summarize_optional
 
 
 def test_summarize_basic():

@@ -1,42 +1,51 @@
 """Failure-injection and robustness tests.
 
-- Ambient packet loss on top of collisions.
-- Guard crash-stop failures (a fraction of monitors die).
+Environmental faults are expressed as :class:`~repro.faults.plan.FaultPlan`
+documents executed by the :class:`~repro.faults.controller.FaultController`
+(wired in automatically by ``build_scenario`` via
+``ScenarioConfig.fault_plan``):
+
+- Ambient packet loss on top of collisions (``LossBurst``).
+- Guard crash-stop failures mid-run (``CrashStop``).
+- MAC saturation flooding (``MacSaturation``).
 - A framing attack: one compromised guard tries to get an honest node
   isolated with false alerts — θ > 1 defends.
 """
 
 from dataclasses import replace
 
-import pytest
-
 from repro.core.agent import LiteworpAgent
 from repro.core.config import LiteworpConfig
 from repro.crypto.auth import Authenticator
 from repro.crypto.keys import PairwiseKeyManager
 from repro.experiments.scenario import ScenarioConfig, build_scenario
-from repro.net.network import NetworkConfig
-from repro.net.packet import AlertPacket, Frame
+from repro.faults.controller import FaultController
+from repro.faults.plan import CrashStop, FaultPlan, LossBurst, MacSaturation
+from repro.net.packet import AlertPacket
 from repro.net.topology import grid_topology
 from tests.conftest import Harness
 
 
 def test_detection_survives_ambient_loss():
+    """A 5% channel-wide loss burst covering the whole run must not stop
+    the guards from detecting the wormhole."""
     config = ScenarioConfig(
         n_nodes=30,
         duration=200.0,
         seed=5,
         attack_start=30.0,
-        network=NetworkConfig(ambient_loss=0.05),
+        fault_plan=FaultPlan.of(LossBurst(at=0.0, probability=0.05, duration=200.0)),
     )
     scenario = build_scenario(config)
-    report = scenario.run()
+    scenario.run()
     detected = {
         record["accused"]
         for record in scenario.trace.of_kind("guard_detection")
         if record["accused"] in set(scenario.malicious_ids)
     }
     assert detected  # still detects under 5% extra loss
+    assert scenario.fault_controller is not None
+    assert scenario.fault_controller.injected == 1
 
 
 def test_no_false_isolations_under_ambient_loss():
@@ -46,7 +55,7 @@ def test_no_false_isolations_under_ambient_loss():
         seed=5,
         attack_mode="none",
         n_malicious=0,
-        network=NetworkConfig(ambient_loss=0.05),
+        fault_plan=FaultPlan.of(LossBurst(at=0.0, probability=0.05, duration=200.0)),
     )
     scenario = build_scenario(config)
     scenario.run()
@@ -54,20 +63,25 @@ def test_no_false_isolations_under_ambient_loss():
 
 
 def test_guard_crashes_degrade_but_do_not_break_detection():
-    """Disable monitoring on a third of the honest nodes: detection must
-    still happen (redundant guards are the point of local monitoring)."""
-    config = ScenarioConfig(n_nodes=30, duration=200.0, seed=5, attack_start=30.0)
-    scenario = build_scenario(config)
-    crashed = list(scenario.agents)[::3]
-    for node_id in crashed:
-        scenario.agents[node_id].monitor.enabled = False
-    report = scenario.run()
+    """Crash-stop a third of the honest nodes shortly after the attack
+    begins: detection must still happen (redundant guards are the point
+    of local monitoring)."""
+    base = ScenarioConfig(n_nodes=30, duration=200.0, seed=5, attack_start=30.0)
+    probe = build_scenario(base)  # cheap: learn the malicious placement
+    malicious = set(probe.malicious_ids)
+    honest = [n for n in probe.topology.node_ids if n not in malicious]
+    plan = FaultPlan.of(
+        *(CrashStop(at=35.0, node=node) for node in honest[::3])
+    )
+    scenario = build_scenario(replace(base, fault_plan=plan))
+    scenario.run()
     detected = {
         record["accused"]
         for record in scenario.trace.of_kind("guard_detection")
-        if record["accused"] in set(scenario.malicious_ids)
+        if record["accused"] in malicious
     }
     assert detected
+    assert scenario.trace.count("fault_injected") == len(plan)
 
 
 def test_framing_attack_defeated_by_theta():
@@ -130,17 +144,17 @@ def test_framing_succeeds_only_with_theta_colluding_guards():
 
 
 def test_mac_saturation_does_not_deadlock():
-    """Flood the MAC of one node far beyond channel capacity: the run must
-    terminate and account for every frame (sent or dropped)."""
+    """Flood one node's MAC far beyond channel capacity via the
+    ``MacSaturation`` fault: the run must terminate and account for every
+    frame (sent or dropped)."""
     harness = Harness(grid_topology(columns=2, rows=1, spacing=10.0, tx_range=30.0))
-    from repro.net.packet import DataPacket
-    node = harness.node(0)
-    for sequence in range(300):
-        node.unicast(
-            DataPacket(origin=0, destination=1, sequence=sequence),
-            next_hop=1, jitter=0.0,
-        )
+    controller = FaultController(harness.network, harness.trace)
+    controller.apply(
+        FaultPlan.of(MacSaturation(at=0.0, node=0, duration=3.0, rate=100.0))
+    )
     harness.run(60.0)
-    mac = node.mac
+    mac = harness.node(0).mac
+    assert controller.injected == 1
+    assert controller.cleared == 1
     assert mac.queue_length == 0
     assert mac.sent + mac.dropped >= 300

@@ -1,0 +1,135 @@
+"""FaultController: plans become physical effects on the live network."""
+
+from repro.faults.controller import FaultController
+from repro.faults.plan import (
+    ClockDrift,
+    CrashRecover,
+    CrashStop,
+    FaultPlan,
+    LinkFlap,
+    LossBurst,
+    MacSaturation,
+)
+from repro.net.packet import DataPacket
+from repro.net.topology import grid_topology
+from tests.conftest import Harness
+
+
+def make_harness(**net_kwargs) -> Harness:
+    return Harness(
+        grid_topology(columns=3, rows=1, spacing=20.0, tx_range=30.0), **net_kwargs
+    )
+
+
+def delivered(harness, src, dst, sequence, at):
+    """Schedule a unicast at ``at``; return a flag list filled on reception."""
+    hits = []
+    harness.node(dst).add_listener(
+        lambda frame: hits.append(frame)
+        if isinstance(frame.packet, DataPacket)
+        and frame.packet.sequence == sequence
+        else None
+    )
+    harness.sim.schedule_at(
+        at,
+        lambda: harness.node(src).unicast(
+            DataPacket(origin=src, destination=dst, sequence=sequence),
+            next_hop=dst,
+            jitter=0.0,
+        ),
+    )
+    return hits
+
+
+def test_crash_stop_silences_node():
+    harness = make_harness()
+    controller = FaultController(harness.network, harness.trace)
+    controller.apply(FaultPlan.of(CrashStop(at=5.0, node=1)))
+    before = delivered(harness, 0, 1, sequence=1, at=1.0)
+    after = delivered(harness, 0, 1, sequence=2, at=10.0)
+    harness.run(20.0)
+    assert before and not after
+    assert not harness.node(1).alive
+    assert controller.injected == 1 and controller.cleared == 0
+    record = harness.trace.first("fault_injected", fault="crash_stop")
+    assert record is not None and record["node"] == 1 and record.time == 5.0
+
+
+def test_crash_recover_restores_node():
+    harness = make_harness()
+    controller = FaultController(harness.network, harness.trace)
+    controller.apply(FaultPlan.of(CrashRecover(at=5.0, node=1, downtime=10.0)))
+    during = delivered(harness, 0, 1, sequence=1, at=10.0)
+    after = delivered(harness, 0, 1, sequence=2, at=20.0)
+    harness.run(30.0)
+    assert not during and after
+    assert harness.node(1).alive
+    assert controller.cleared == 1
+    assert harness.trace.count("fault_cleared", fault="crash_recover") == 1
+
+
+def test_link_flap_is_transient_and_directionless():
+    harness = make_harness()
+    controller = FaultController(harness.network, harness.trace)
+    controller.apply(FaultPlan.of(LinkFlap(at=5.0, a=0, b=1, downtime=10.0)))
+    down = delivered(harness, 1, 0, sequence=1, at=10.0)  # reverse direction
+    up = delivered(harness, 0, 1, sequence=2, at=20.0)
+    harness.run(30.0)
+    assert not down and up
+    assert controller.cleared == 1
+
+
+def test_loss_burst_restores_previous_level():
+    harness = make_harness(ambient_loss=0.02)
+    controller = FaultController(harness.network, harness.trace)
+    controller.apply(FaultPlan.of(LossBurst(at=5.0, probability=0.5, duration=10.0)))
+    harness.run(4.0)
+    assert harness.network.channel.ambient_loss == 0.02
+    harness.run(10.0)
+    assert harness.network.channel.ambient_loss == 0.5
+    harness.run(30.0)
+    assert harness.network.channel.ambient_loss == 0.02
+
+
+def test_mac_saturation_emits_noise():
+    harness = make_harness()
+    controller = FaultController(harness.network, harness.trace)
+    controller.apply(FaultPlan.of(MacSaturation(at=1.0, node=0, duration=2.0, rate=10.0)))
+    harness.run(10.0)
+    mac = harness.node(0).mac
+    assert mac.sent + mac.dropped >= 20
+    assert controller.cleared == 1
+
+
+def test_clock_drift_sets_skew():
+    harness = make_harness()
+    controller = FaultController(harness.network, harness.trace)
+    controller.apply(FaultPlan.of(ClockDrift(at=2.0, node=2, skew=0.1)))
+    harness.run(1.0)
+    assert harness.node(2).clock_skew == 0.0
+    harness.run(5.0)
+    assert harness.node(2).clock_skew == 0.1
+
+
+def test_late_apply_fires_immediately():
+    harness = make_harness()
+    controller = FaultController(harness.network, harness.trace)
+    harness.run(10.0)
+    controller.apply(FaultPlan.of(CrashStop(at=5.0, node=1)))  # already past
+    harness.run(11.0)
+    assert not harness.node(1).alive
+
+
+def test_trace_records_carry_fault_fields():
+    harness = make_harness()
+    controller = FaultController(harness.network, harness.trace)
+    plan = FaultPlan.of(
+        CrashStop(at=1.0, node=1),
+        LossBurst(at=2.0, probability=0.3, duration=1.0),
+    )
+    controller.apply(plan)
+    harness.run(10.0)
+    assert harness.trace.count("fault_plan_armed") == 1
+    burst = harness.trace.first("fault_injected", fault="loss_burst")
+    assert burst is not None
+    assert burst["probability"] == 0.3 and burst["duration"] == 1.0

@@ -1,0 +1,108 @@
+"""FaultPlan DSL: validation, canonical ordering, JSON round-trip."""
+
+import pytest
+
+from repro.faults.plan import (
+    ClockDrift,
+    CrashRecover,
+    CrashStop,
+    EnergyDepletion,
+    FaultPlan,
+    LinkFlap,
+    LossBurst,
+    MacSaturation,
+)
+
+
+def sample_plan() -> FaultPlan:
+    return FaultPlan.of(
+        CrashStop(at=10.0, node=3),
+        CrashRecover(at=20.0, node=5, downtime=15.0),
+        EnergyDepletion(at=30.0, node=7),
+        LinkFlap(at=12.0, a=1, b=2, downtime=4.0),
+        LossBurst(at=40.0, probability=0.2, duration=25.0),
+        MacSaturation(at=5.0, node=0, duration=3.0, rate=20.0),
+        ClockDrift(at=0.0, node=4, skew=-0.1),
+    )
+
+
+def test_plan_sorts_by_time():
+    plan = sample_plan()
+    times = [fault.at for fault in plan]
+    assert times == sorted(times)
+
+
+def test_plan_order_independent():
+    faults = tuple(sample_plan())
+    assert FaultPlan(faults=faults) == FaultPlan(faults=tuple(reversed(faults)))
+
+
+def test_crashed_and_permanent_queries():
+    plan = sample_plan()
+    assert plan.crashed_nodes() == (3, 5, 7)
+    assert plan.permanently_down() == (3, 7)
+
+
+def test_end_time_covers_recovery():
+    plan = sample_plan()
+    assert plan.end_time() == 65.0  # loss burst: 40 + 25
+    assert FaultPlan().end_time() == 0.0
+    assert CrashRecover(at=20.0, downtime=15.0).end_time() == 35.0
+
+
+def test_extended_returns_new_plan():
+    plan = FaultPlan.of(CrashStop(at=1.0, node=1))
+    bigger = plan.extended(CrashStop(at=0.5, node=2))
+    assert len(plan) == 1
+    assert len(bigger) == 2
+    assert bigger.faults[0].node == 2  # re-sorted
+
+
+def test_json_round_trip():
+    plan = sample_plan()
+    assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+def test_json_is_stable():
+    plan = sample_plan()
+    assert plan.to_json() == FaultPlan(faults=tuple(reversed(plan.faults))).to_json()
+
+
+@pytest.mark.parametrize(
+    "fault",
+    [
+        CrashStop(at=-1.0, node=0),
+        CrashRecover(at=0.0, node=0, downtime=0.0),
+        LinkFlap(at=0.0, a=1, b=1),
+        LinkFlap(at=0.0, a=1, b=2, downtime=-1.0),
+        LossBurst(at=0.0, probability=0.0),
+        LossBurst(at=0.0, probability=1.0),
+        LossBurst(at=0.0, probability=0.5, duration=0.0),
+        MacSaturation(at=0.0, rate=0.0),
+        MacSaturation(at=0.0, payload_size=0),
+        ClockDrift(at=0.0, skew=0.6),
+    ],
+)
+def test_malformed_faults_rejected_eagerly(fault):
+    with pytest.raises(ValueError):
+        FaultPlan.of(fault)
+
+
+def test_from_dict_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultPlan.from_dict({"faults": [{"kind": "gamma_ray", "at": 1.0}]})
+
+
+def test_from_dict_rejects_bad_fields():
+    with pytest.raises(ValueError, match="bad fields"):
+        FaultPlan.from_dict({"faults": [{"kind": "crash_stop", "at": 1.0, "bogus": 2}]})
+
+
+def test_from_dict_rejects_non_list():
+    with pytest.raises(ValueError, match="'faults' list"):
+        FaultPlan.from_dict({"faults": "nope"})
+
+
+def test_from_dict_rejects_entry_without_kind():
+    with pytest.raises(ValueError, match="'kind' field"):
+        FaultPlan.from_dict({"faults": [{"at": 1.0}]})

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.config import LiteworpConfig
 from repro.experiments.scenario import ScenarioConfig, build_scenario
 from repro.routing.config import RoutingConfig
 

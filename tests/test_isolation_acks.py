@@ -1,0 +1,74 @@
+"""Acked ALERT dissemination with bounded retransmission.
+
+With ``alert_retries > 0`` every alert recipient returns an authenticated
+ack; the guard re-sends unacked alerts with exponential backoff and gives
+up after the retry budget.
+"""
+
+from repro.core.agent import LiteworpAgent
+from repro.core.config import LiteworpConfig
+from repro.crypto.keys import PairwiseKeyManager
+from repro.net.topology import grid_topology
+from tests.conftest import Harness
+
+
+def build(harness: Harness, config: LiteworpConfig):
+    keys = PairwiseKeyManager()
+    adjacency = harness.topology.adjacency()
+    agents = {}
+    for node_id in harness.topology.node_ids:
+        agent = LiteworpAgent(
+            harness.sim,
+            harness.node(node_id),
+            keys.enroll(node_id),
+            config,
+            harness.trace,
+        )
+        agent.install_oracle(adjacency)
+        agents[node_id] = agent
+    return agents
+
+
+def test_acked_alerts_are_not_retransmitted():
+    harness = Harness(grid_topology(columns=3, rows=3, spacing=10.0, tx_range=30.0))
+    agents = build(harness, LiteworpConfig(alert_retries=2, alert_retry_timeout=0.5))
+    guard, accused = 0, 4
+    agents[guard].isolation.handle_local_detection(accused)
+    harness.run(20.0)
+    assert harness.trace.count("alert_sent") >= 1
+    assert harness.trace.count("alert_ack_verified") >= 1
+    assert harness.trace.count("alert_retransmit") == 0
+    assert harness.trace.count("alert_abandoned") == 0
+    assert agents[guard].isolation.alert_retransmits == 0
+
+
+def test_unreachable_recipient_triggers_bounded_retries():
+    harness = Harness(grid_topology(columns=3, rows=3, spacing=10.0, tx_range=30.0))
+    agents = build(harness, LiteworpConfig(alert_retries=2, alert_retry_timeout=0.5))
+    guard, accused, unreachable = 0, 4, 8
+    # Sever the victim recipient completely so neither the direct alert
+    # nor a relayed copy (nor any ack) can reach it.
+    for other in harness.topology.node_ids:
+        if other != unreachable:
+            harness.network.channel.set_link_down(unreachable, other)
+    agents[guard].isolation.handle_local_detection(accused)
+    harness.run(30.0)
+    retransmits = harness.trace.of_kind("alert_retransmit")
+    assert [r for r in retransmits if r["recipient"] == unreachable]
+    abandoned = harness.trace.of_kind("alert_abandoned")
+    assert [r for r in abandoned if r["recipient"] == unreachable]
+    # The retry budget bounds the attempts: initial send + 2 retries.
+    assert (
+        len([r for r in retransmits if r["recipient"] == unreachable]) <= 2
+    )
+    assert agents[guard].isolation.alert_retransmits >= 1
+
+
+def test_retries_disabled_by_default():
+    harness = Harness(grid_topology(columns=3, rows=3, spacing=10.0, tx_range=30.0))
+    agents = build(harness, LiteworpConfig())
+    agents[0].isolation.handle_local_detection(4)
+    harness.run(20.0)
+    assert harness.trace.count("alert_sent") >= 1
+    assert harness.trace.count("alert_retransmit") == 0
+    assert harness.trace.count("alert_ack_verified") == 0  # no acks requested

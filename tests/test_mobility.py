@@ -10,7 +10,7 @@ from repro.core.config import LiteworpConfig
 from repro.crypto.keys import PairwiseKeyManager
 from repro.mobility.dynamic import DynamicNeighborhood
 from repro.mobility.waypoint import RandomWaypointModel, WaypointConfig
-from repro.net.radio import UnitDiskRadio, distance
+from repro.net.radio import distance
 from repro.net.topology import Topology, grid_topology
 from tests.conftest import Harness
 

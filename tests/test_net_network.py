@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.net.network import Network, NetworkConfig
+from repro.net.network import Network
 from repro.net.topology import grid_topology
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry

@@ -1,0 +1,151 @@
+"""Property-based tests (hypothesis) for the fault subsystem.
+
+Two liveness/recovery invariants, each over randomly drawn small
+networks and fault schedules:
+
+- **Sticky revocations** — a node that revoked a neighbor stays revoked
+  across any number of crash-recover cycles (the revocation list models
+  nonvolatile storage).
+- **No false isolation** — with heartbeats on, crash-stopping any honest
+  node never gets it isolated by its neighbors: the failure detector
+  adjudicates the silence before drop accusations can accumulate.
+
+Plus a round-trip property: any valid plan survives JSON serialization.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.agent import LiteworpAgent
+from repro.core.config import LiteworpConfig
+from repro.crypto.keys import PairwiseKeyManager
+from repro.faults.controller import FaultController
+from repro.faults.plan import (
+    ClockDrift,
+    CrashRecover,
+    CrashStop,
+    FaultPlan,
+    LinkFlap,
+    LossBurst,
+    MacSaturation,
+)
+from repro.net.topology import grid_topology
+from tests.conftest import Harness
+
+fault_strategy = st.one_of(
+    st.builds(
+        CrashStop,
+        at=st.floats(min_value=0.0, max_value=100.0),
+        node=st.integers(min_value=0, max_value=50),
+    ),
+    st.builds(
+        CrashRecover,
+        at=st.floats(min_value=0.0, max_value=100.0),
+        node=st.integers(min_value=0, max_value=50),
+        downtime=st.floats(min_value=0.1, max_value=60.0),
+    ),
+    st.builds(
+        LinkFlap,
+        at=st.floats(min_value=0.0, max_value=100.0),
+        a=st.integers(min_value=0, max_value=20),
+        b=st.integers(min_value=21, max_value=50),
+        downtime=st.floats(min_value=0.1, max_value=60.0),
+    ),
+    st.builds(
+        LossBurst,
+        at=st.floats(min_value=0.0, max_value=100.0),
+        probability=st.floats(min_value=0.01, max_value=0.99),
+        duration=st.floats(min_value=0.1, max_value=60.0),
+    ),
+    st.builds(
+        MacSaturation,
+        at=st.floats(min_value=0.0, max_value=100.0),
+        node=st.integers(min_value=0, max_value=50),
+        duration=st.floats(min_value=0.1, max_value=10.0),
+        rate=st.floats(min_value=1.0, max_value=100.0),
+    ),
+    st.builds(
+        ClockDrift,
+        at=st.floats(min_value=0.0, max_value=100.0),
+        node=st.integers(min_value=0, max_value=50),
+        skew=st.floats(min_value=-0.5, max_value=0.5),
+    ),
+)
+
+
+@given(st.lists(fault_strategy, max_size=12))
+@settings(max_examples=50, deadline=None)
+def test_plan_json_round_trip(faults):
+    plan = FaultPlan(faults=tuple(faults))
+    assert FaultPlan.from_json(plan.to_json()) == plan
+    assert plan.end_time() >= max((f.at for f in plan), default=0.0)
+
+
+def _build_line(config: LiteworpConfig, columns: int):
+    harness = Harness(
+        grid_topology(columns=columns, rows=1, spacing=20.0, tx_range=30.0)
+    )
+    keys = PairwiseKeyManager()
+    adjacency = harness.topology.adjacency()
+    agents = {}
+    for node_id in harness.topology.node_ids:
+        agent = LiteworpAgent(
+            harness.sim,
+            harness.node(node_id),
+            keys.enroll(node_id),
+            config,
+            harness.trace,
+        )
+        agent.install_oracle(adjacency)
+        agents[node_id] = agent
+    return harness, agents
+
+
+@given(
+    columns=st.integers(min_value=3, max_value=5),
+    cycles=st.integers(min_value=1, max_value=3),
+    downtime=st.floats(min_value=5.0, max_value=15.0),
+)
+@settings(max_examples=10, deadline=None)
+def test_revocations_sticky_across_crash_recover(columns, cycles, downtime):
+    """Whatever the reboot schedule, a revocation never un-happens."""
+    config = LiteworpConfig(heartbeat_period=1.0, probe_backoff=0.2)
+    harness, agents = _build_line(config, columns)
+    revoker, revoked = 0, 1
+    agents[revoker].table.revoke(revoked)
+    faults = [
+        CrashRecover(at=2.0 + i * (downtime + 10.0), node=revoker, downtime=downtime)
+        for i in range(cycles)
+    ]
+    controller = FaultController(harness.network, harness.trace)
+    controller.apply(FaultPlan.of(*faults))
+    harness.run(2.0 + cycles * (downtime + 10.0) + 10.0)
+    assert harness.node(revoker).alive
+    assert agents[revoker].activated  # rejoined after every reboot
+    assert agents[revoker].table.is_revoked(revoked)
+    assert not agents[revoker].is_usable(revoked)
+
+
+@given(
+    victim=st.integers(min_value=0, max_value=8),
+    crash_at=st.floats(min_value=2.0, max_value=10.0),
+    pressure=st.integers(min_value=0, max_value=6),
+)
+@settings(max_examples=10, deadline=None)
+def test_no_crashed_honest_node_isolated_with_heartbeats(victim, crash_at, pressure):
+    """Crash-stop any node in an all-honest grid (optionally with some
+    pre-crash MalC pressure short of C_t): with the liveness layer on,
+    nobody ever isolates it."""
+    config = LiteworpConfig(heartbeat_period=1.0, probe_backoff=0.2)
+    harness, agents = _build_line(config, 3)
+    victim = victim % 3
+    guard = (victim + 1) % 3
+    if pressure:
+        agents[guard].table.record_malicious(victim, pressure, now=1.0, window=200.0)
+    harness.sim.schedule_at(crash_at, harness.node(victim).fail)
+    harness.run(crash_at + 60.0)
+    for node_id, agent in agents.items():
+        if node_id == victim:
+            continue
+        assert not agent.has_isolated(victim), f"node {node_id} isolated the victim"
+    assert harness.trace.count("isolation") == 0
