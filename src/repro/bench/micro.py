@@ -1,0 +1,321 @@
+"""Microbenchmarks over the simulator's hot paths.
+
+Three benchmarks, each a pure function returning a :class:`BenchResult`
+that serialises to a ``BENCH_<name>.json`` trajectory file:
+
+- ``engine`` — raw event dispatch throughput of the discrete-event
+  kernel (a self-rescheduling callback chain).
+- ``channel`` — broadcast transmissions over a static 100-node field,
+  exercising the memoized coverage/distance hot path end to end.
+- ``sweep`` — the paper's replication structure: a density sweep at
+  30 replications per point, run serial-cold, parallel-cold, and
+  cache-warm.  Verifies the three produce byte-identical reports and
+  records the wall-clock speedups (the acceptance trajectory for the
+  parallel runner and the result cache).
+
+Timing numbers are environment-dependent by nature; correctness flags
+(``byte_identical``) are not.  CI runs the suite in quick mode and only
+fails on crash or a determinism violation, never on timing.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.runner import SweepRunner, replication_configs
+from repro.experiments.scenario import ScenarioConfig
+from repro.net.channel import Channel
+from repro.net.packet import DataPacket, Frame
+from repro.net.radio import UnitDiskRadio
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+
+@dataclass
+class BenchResult:
+    """One benchmark's parameters, per-step trajectory, and summary."""
+
+    name: str
+    params: Dict[str, object]
+    samples: List[Dict[str, object]] = field(default_factory=list)
+    metrics: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "params": self.params,
+            "samples": self.samples,
+            "metrics": self.metrics,
+        }
+
+    def write(self, output_dir: Union[str, pathlib.Path]) -> pathlib.Path:
+        """Persist as ``BENCH_<name>.json`` under ``output_dir``."""
+        output_dir = pathlib.Path(output_dir)
+        output_dir.mkdir(parents=True, exist_ok=True)
+        path = output_dir / f"BENCH_{self.name}.json"
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    def summary(self) -> str:
+        """One human line per headline metric."""
+        parts = ", ".join(
+            f"{key}={value:.3f}" if isinstance(value, float) else f"{key}={value}"
+            for key, value in sorted(self.metrics.items())
+        )
+        return f"{self.name}: {parts}"
+
+
+# ----------------------------------------------------------------------
+# Kernel: event dispatch throughput
+# ----------------------------------------------------------------------
+def bench_engine(quick: bool = True) -> BenchResult:
+    """Events/second through the kernel's dispatch loop."""
+    total_events = 50_000 if quick else 500_000
+    rounds = 3
+    samples: List[Dict[str, object]] = []
+    for round_index in range(rounds):
+        sim = Simulator()
+        remaining = [total_events]
+
+        def tick() -> None:
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        started = time.perf_counter()
+        sim.run()
+        elapsed = time.perf_counter() - started
+        samples.append(
+            {
+                "round": round_index,
+                "events": total_events,
+                "seconds": elapsed,
+                "events_per_second": total_events / elapsed,
+            }
+        )
+    best = max(sample["events_per_second"] for sample in samples)
+    return BenchResult(
+        name="engine",
+        params={"events": total_events, "rounds": rounds, "quick": quick},
+        samples=samples,
+        metrics={"best_events_per_second": best},
+    )
+
+
+# ----------------------------------------------------------------------
+# Channel: broadcast hot path
+# ----------------------------------------------------------------------
+def bench_channel(quick: bool = True) -> BenchResult:
+    """Transmissions/second over a static field (reception fan-out included)."""
+    n_nodes = 100
+    transmissions = 2_000 if quick else 20_000
+    side = 10  # 10x10 grid, 15 m pitch -> ~8 neighbors at r=30
+    positions = {
+        node: (15.0 * (node % side), 15.0 * (node // side)) for node in range(n_nodes)
+    }
+    rounds = 3
+    samples: List[Dict[str, object]] = []
+    for round_index in range(rounds):
+        sim = Simulator()
+        radio = UnitDiskRadio(positions, default_range=30.0)
+        channel = Channel(sim, radio, RngRegistry(round_index))
+        sink_counts = [0]
+
+        def sink(_frame: Frame) -> None:
+            sink_counts[0] += 1
+
+        for node in positions:
+            channel.attach(node, sink)
+        frame_duration = channel.duration_of(
+            Frame(packet=DataPacket(origin=0, destination=1, payload_size=64),
+                  transmitter=0)
+        )
+        started = time.perf_counter()
+        for index in range(transmissions):
+            sender = index % n_nodes
+            packet = DataPacket(origin=sender, destination=(sender + 1) % n_nodes,
+                                payload_size=64)
+            # Space transmissions out so they deliver rather than collide:
+            # the delivery path (not the collision path) is the common case.
+            channel.transmit(sender, Frame(packet=packet, transmitter=sender))
+            sim.run(until=sim.now + 2 * frame_duration)
+        elapsed = time.perf_counter() - started
+        samples.append(
+            {
+                "round": round_index,
+                "transmissions": transmissions,
+                "receptions": sink_counts[0],
+                "seconds": elapsed,
+                "tx_per_second": transmissions / elapsed,
+            }
+        )
+    best = max(sample["tx_per_second"] for sample in samples)
+    return BenchResult(
+        name="channel",
+        params={"n_nodes": n_nodes, "transmissions": transmissions, "quick": quick},
+        samples=samples,
+        metrics={"best_tx_per_second": best},
+    )
+
+
+# ----------------------------------------------------------------------
+# Sweep: replication parallelism + result cache
+# ----------------------------------------------------------------------
+def _sweep_configs(quick: bool, runs: int) -> List[ScenarioConfig]:
+    """The density-sweep work list: ``runs`` replications per point."""
+    if quick:
+        settings = ((16, 8.0), (20, 8.0))
+        duration = 40.0
+    else:
+        settings = ((20, 8.0), (30, 8.0), (40, 8.0))
+        duration = 60.0
+    configs: List[ScenarioConfig] = []
+    for n_nodes, avg_neighbors in settings:
+        point = ScenarioConfig(
+            n_nodes=n_nodes,
+            avg_neighbors=avg_neighbors,
+            duration=duration,
+            seed=4,
+            attack_start=20.0,
+        )
+        configs.extend(replication_configs(point, runs))
+    return configs
+
+
+def bench_sweep(
+    quick: bool = True,
+    jobs: Optional[int] = None,
+    runs: Optional[int] = None,
+    cache_root: Optional[Union[str, pathlib.Path]] = None,
+) -> BenchResult:
+    """Serial vs parallel vs cache-warm wall clock on a density sweep.
+
+    Three passes over the identical work list:
+
+    1. **serial-cold** — one process, no cache, each replication timed
+       individually (the trajectory samples);
+    2. **parallel-cold** — ``jobs`` worker processes (default 2), no
+       cache;
+    3. **warm** — every point served from the result cache populated
+       between passes.
+
+    All three must produce byte-identical reports (``byte_identical``);
+    the recorded speedups are relative to the serial-cold pass.
+    """
+    import tempfile
+
+    runs = runs if runs is not None else (3 if quick else 30)
+    jobs = jobs if jobs is not None else 2
+    configs = _sweep_configs(quick, runs)
+
+    samples: List[Dict[str, object]] = []
+    serial_runner = SweepRunner()
+    serial_reports = []
+    serial_started = time.perf_counter()
+    for index, config in enumerate(configs):
+        run_started = time.perf_counter()
+        serial_reports.append(serial_runner.run_one(config))
+        samples.append(
+            {
+                "phase": "serial",
+                "index": index,
+                "n_nodes": config.n_nodes,
+                "seed": config.seed,
+                "seconds": time.perf_counter() - run_started,
+            }
+        )
+    serial_seconds = time.perf_counter() - serial_started
+
+    parallel_started = time.perf_counter()
+    parallel_reports = SweepRunner(jobs=jobs).run_many(configs)
+    parallel_seconds = time.perf_counter() - parallel_started
+    samples.append({"phase": "parallel", "jobs": jobs, "seconds": parallel_seconds})
+
+    own_temp = None
+    if cache_root is None:
+        own_temp = tempfile.TemporaryDirectory(prefix="repro-bench-cache-")
+        cache_root = own_temp.name
+    try:
+        populate = ResultCache(cache_root)
+        for config, report in zip(configs, serial_reports):
+            populate.put(config, report)
+        warm_runner = SweepRunner(cache=ResultCache(cache_root))
+        warm_started = time.perf_counter()
+        warm_reports = warm_runner.run_many(configs)
+        warm_seconds = time.perf_counter() - warm_started
+        samples.append(
+            {"phase": "warm", "cache_hits": warm_runner.cache_hits,
+             "seconds": warm_seconds}
+        )
+    finally:
+        if own_temp is not None:
+            own_temp.cleanup()
+
+    canonical = [json.dumps(r.to_state(), sort_keys=True) for r in serial_reports]
+    byte_identical = (
+        canonical == [json.dumps(r.to_state(), sort_keys=True) for r in parallel_reports]
+        and canonical == [json.dumps(r.to_state(), sort_keys=True) for r in warm_reports]
+    )
+    return BenchResult(
+        name="sweep",
+        params={
+            "quick": quick,
+            "runs_per_point": runs,
+            "points": len(configs) // runs,
+            "total_replications": len(configs),
+            "jobs": jobs,
+        },
+        samples=samples,
+        metrics={
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "warm_seconds": warm_seconds,
+            "speedup_parallel": serial_seconds / parallel_seconds,
+            "speedup_cached": serial_seconds / warm_seconds,
+            "byte_identical": byte_identical,
+        },
+    )
+
+
+BENCHMARKS: Dict[str, Callable[..., BenchResult]] = {
+    "engine": bench_engine,
+    "channel": bench_channel,
+    "sweep": bench_sweep,
+}
+
+
+def run_benchmarks(
+    names: Optional[Sequence[str]] = None,
+    quick: bool = True,
+    jobs: Optional[int] = None,
+    output_dir: Optional[Union[str, pathlib.Path]] = None,
+) -> List[BenchResult]:
+    """Run the selected benchmarks, write their JSON files, return results.
+
+    Raises RuntimeError if the sweep benchmark reports a determinism
+    violation — that is a correctness failure, not a timing one.
+    """
+    selected = list(names) if names else list(BENCHMARKS)
+    unknown = [name for name in selected if name not in BENCHMARKS]
+    if unknown:
+        raise ValueError(f"unknown benchmarks: {unknown}; available: {list(BENCHMARKS)}")
+    results: List[BenchResult] = []
+    for name in selected:
+        if name == "sweep":
+            result = BENCHMARKS[name](quick=quick, jobs=jobs)
+        else:
+            result = BENCHMARKS[name](quick=quick)
+        if output_dir is not None:
+            result.write(output_dir)
+        if result.metrics.get("byte_identical") is False:
+            raise RuntimeError(
+                "sweep benchmark: parallel/cached reports diverged from serial"
+            )
+        results.append(result)
+    return results

@@ -3,12 +3,18 @@
 Commands
 --------
 - ``run`` — one scenario with chosen attack/defense, printing the report.
-- ``fig8`` / ``fig9`` / ``fig10`` — regenerate a simulation figure.
+- ``fig8`` / ``fig9`` / ``fig10`` — regenerate a simulation figure
+  (``--jobs`` fans replications across processes, ``--no-cache`` skips
+  the on-disk result cache).
 - ``fig6`` — the analytical coverage curves.
 - ``cost`` — the section-5.2 cost table.
 - ``taxonomy`` — Table 1.
 - ``chaos`` — fault-injection run: guards crash mid-run under a loss
   burst; reports detection survival and false-isolation counts.
+- ``bench`` — the microbenchmark suite; writes ``BENCH_*.json``.
+
+The global ``--profile`` flag wraps any command in cProfile and prints
+the top cumulative hot spots afterwards.
 """
 
 from __future__ import annotations
@@ -40,7 +46,21 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="LITEWORP reproduction — run scenarios and regenerate the paper's figures",
     )
+    parser.add_argument("--profile", action="store_true",
+                        help="run the command under cProfile and print hot spots")
+    parser.add_argument("--profile-top", type=int, default=20, metavar="N",
+                        help="how many cumulative hot spots to print (default 20)")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_sweep_options(sub_parser: argparse.ArgumentParser) -> None:
+        """Options shared by every replication-sweep command."""
+        sub_parser.add_argument("--jobs", type=int, default=0, metavar="N",
+                                help="worker processes for replications "
+                                     "(0/1 serial, -1 one per CPU)")
+        sub_parser.add_argument("--no-cache", dest="use_cache", action="store_false",
+                                help="do not read or write the on-disk result cache")
+        sub_parser.add_argument("--cache-dir", default=".repro-cache",
+                                help="result cache directory (default .repro-cache)")
 
     run_p = sub.add_parser("run", help="run one scenario and print the report")
     run_p.add_argument("--nodes", type=int, default=50)
@@ -58,18 +78,31 @@ def build_parser() -> argparse.ArgumentParser:
     fig8_p.add_argument("--duration", type=float, default=300.0)
     fig8_p.add_argument("--runs", type=int, default=1)
     fig8_p.add_argument("--seed", type=int, default=8)
+    add_sweep_options(fig8_p)
 
     fig9_p = sub.add_parser("fig9", help="fractions vs number of compromised nodes")
     fig9_p.add_argument("--nodes", type=int, default=100)
     fig9_p.add_argument("--duration", type=float, default=300.0)
     fig9_p.add_argument("--runs", type=int, default=1)
     fig9_p.add_argument("--seed", type=int, default=8)
+    add_sweep_options(fig9_p)
 
     fig10_p = sub.add_parser("fig10", help="detection probability / latency vs theta")
     fig10_p.add_argument("--nodes", type=int, default=60)
     fig10_p.add_argument("--duration", type=float, default=250.0)
     fig10_p.add_argument("--runs", type=int, default=2)
     fig10_p.add_argument("--seed", type=int, default=8)
+    add_sweep_options(fig10_p)
+
+    bench_p = sub.add_parser("bench", help="microbenchmark suite; writes BENCH_*.json")
+    bench_p.add_argument("--full", action="store_true",
+                         help="paper-scale sizes (default is quick mode)")
+    bench_p.add_argument("--jobs", type=int, default=0, metavar="N",
+                         help="worker processes for the sweep benchmark")
+    bench_p.add_argument("--only", action="append", default=None, metavar="NAME",
+                         help="run one benchmark (repeatable): engine, channel, sweep")
+    bench_p.add_argument("--output-dir", default="benchmarks/output",
+                         help="where BENCH_*.json files land (default benchmarks/output)")
 
     chaos_p = sub.add_parser(
         "chaos", help="run the wormhole scenario under fault injection"
@@ -128,24 +161,49 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_kwargs(args: argparse.Namespace) -> dict:
+    """jobs/cache keyword arguments for the figure runners."""
+    cache = None
+    if getattr(args, "use_cache", False):
+        from repro.experiments.cache import ResultCache
+
+        cache = ResultCache(args.cache_dir)
+    return {"jobs": args.jobs or None, "cache": cache}
+
+
 def _cmd_fig8(args: argparse.Namespace) -> int:
     base = ScenarioConfig(n_nodes=args.nodes, duration=args.duration,
                           seed=args.seed, attack_start=50.0)
-    print(run_fig8(base=base, runs=args.runs).format())
+    print(run_fig8(base=base, runs=args.runs, **_sweep_kwargs(args)).format())
     return 0
 
 
 def _cmd_fig9(args: argparse.Namespace) -> int:
     base = ScenarioConfig(n_nodes=args.nodes, duration=args.duration,
                           seed=args.seed, attack_start=50.0)
-    print(run_fig9(base=base, runs=args.runs).format())
+    print(run_fig9(base=base, runs=args.runs, **_sweep_kwargs(args)).format())
     return 0
 
 
 def _cmd_fig10(args: argparse.Namespace) -> int:
     base = ScenarioConfig(n_nodes=args.nodes, avg_neighbors=15.0,
                           duration=args.duration, seed=args.seed, attack_start=50.0)
-    print(run_fig10(base=base, runs=args.runs).format())
+    print(run_fig10(base=base, runs=args.runs, **_sweep_kwargs(args)).format())
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import run_benchmarks
+
+    results = run_benchmarks(
+        names=args.only,
+        quick=not args.full,
+        jobs=args.jobs or None,
+        output_dir=args.output_dir,
+    )
+    for result in results:
+        print(result.summary())
+    print(f"BENCH_*.json written to {args.output_dir}")
     return 0
 
 
@@ -205,13 +263,26 @@ _COMMANDS = {
     "fig6": _cmd_fig6,
     "cost": _cmd_cost,
     "taxonomy": _cmd_taxonomy,
+    "bench": _cmd_bench,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Parse ``argv`` (default: ``sys.argv[1:]``) and run the command."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    command = _COMMANDS[args.command]
+    if not args.profile:
+        return command(args)
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    exit_code = profiler.runcall(command, args)
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats("cumulative")
+    print(f"\n--- cProfile: top {args.profile_top} by cumulative time ---")
+    stats.print_stats(args.profile_top)
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -12,10 +12,13 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.analysis.coverage import CoverageParams, detection_vs_theta
-from repro.experiments.scenario import ScenarioConfig, average_runs
+from repro.experiments.cache import ResultCache
+from repro.experiments.runner import SweepRunner, replication_configs
+from repro.experiments.scenario import ScenarioConfig
+from repro.metrics.collector import MetricsReport
 
 
 def _mean(values: Sequence[float]) -> float:
@@ -23,6 +26,28 @@ def _mean(values: Sequence[float]) -> float:
     if not values:
         return 0.0
     return statistics.fmean(values)
+
+
+def _sweep_reports(
+    point_configs: Dict[Hashable, ScenarioConfig],
+    runs: int,
+    jobs: Optional[int],
+    cache: Optional[ResultCache],
+) -> Dict[Hashable, List[MetricsReport]]:
+    """Replication reports for every sweep point, keyed like the input.
+
+    All points' replications are flattened into one batch so a parallel
+    runner keeps every worker busy across the whole figure, not just
+    within one parameter point.
+    """
+    flat: List[ScenarioConfig] = []
+    for config in point_configs.values():
+        flat.extend(replication_configs(config, runs))
+    reports = SweepRunner(jobs=jobs, cache=cache).run_many(flat)
+    grouped: Dict[Hashable, List[MetricsReport]] = {}
+    for offset, key in enumerate(point_configs):
+        grouped[key] = reports[offset * runs:(offset + 1) * runs]
+    return grouped
 
 
 # ----------------------------------------------------------------------
@@ -57,6 +82,8 @@ def run_fig8(
     malicious_counts: Sequence[int] = (2, 4),
     runs: int = 2,
     sample_interval: float = 25.0,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> Fig8Result:
     """Figure 8: cumulative dropped packets with and without LITEWORP."""
     config = base if base is not None else ScenarioConfig(n_nodes=100, duration=300.0)
@@ -64,15 +91,18 @@ def run_fig8(
         config.attack_start * 0 + t
         for t in _sample_times(config.duration, sample_interval)
     )
+    point_configs: Dict[Hashable, ScenarioConfig] = {
+        (m, liteworp): replace(config, n_malicious=m, liteworp_enabled=liteworp)
+        for m in malicious_counts
+        for liteworp in (False, True)
+    }
+    grouped = _sweep_reports(point_configs, runs, jobs, cache)
     series: Dict[Tuple[int, bool], Tuple[float, ...]] = {}
-    for m in malicious_counts:
-        for liteworp in (False, True):
-            cfg = replace(config, n_malicious=m, liteworp_enabled=liteworp)
-            reports = average_runs(cfg, runs)
-            stacked = [report.drop_series(times) for report in reports]
-            series[(m, liteworp)] = tuple(
-                _mean(run[i] for run in stacked) for i in range(len(times))
-            )
+    for key, reports in grouped.items():
+        stacked = [report.drop_series(times) for report in reports]
+        series[key] = tuple(
+            _mean(run[i] for run in stacked) for i in range(len(times))
+        )
     return Fig8Result(times=times, series=series)
 
 
@@ -124,11 +154,12 @@ def run_fig9(
     base: Optional[ScenarioConfig] = None,
     malicious_counts: Sequence[int] = (0, 1, 2, 3, 4),
     runs: int = 2,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> Fig9Result:
     """Figure 9: snapshot fractions for M = 0..4, with/without LITEWORP."""
     config = base if base is not None else ScenarioConfig(n_nodes=100, duration=300.0)
-    dropped: Dict[Tuple[int, bool], float] = {}
-    mal_routes: Dict[Tuple[int, bool], float] = {}
+    point_configs: Dict[Hashable, ScenarioConfig] = {}
     for m in malicious_counts:
         for liteworp in (False, True):
             mode = config.attack_mode if m >= 2 or config.attack_mode == "none" else "none"
@@ -136,15 +167,18 @@ def run_fig9(
             if m == 1 and config.attack_mode in ("outofband", "encapsulation"):
                 # One colluder cannot form a tunnel: equivalent to no attack.
                 mode, effective_m = "none", 0
-            cfg = replace(
+            point_configs[(m, liteworp)] = replace(
                 config,
                 n_malicious=effective_m,
                 attack_mode=mode,
                 liteworp_enabled=liteworp,
             )
-            reports = average_runs(cfg, runs)
-            dropped[(m, liteworp)] = _mean(r.fraction_wormhole_dropped for r in reports)
-            mal_routes[(m, liteworp)] = _mean(r.fraction_malicious_routes for r in reports)
+    grouped = _sweep_reports(point_configs, runs, jobs, cache)
+    dropped: Dict[Tuple[int, bool], float] = {}
+    mal_routes: Dict[Tuple[int, bool], float] = {}
+    for key, reports in grouped.items():
+        dropped[key] = _mean(r.fraction_wormhole_dropped for r in reports)
+        mal_routes[key] = _mean(r.fraction_malicious_routes for r in reports)
     return Fig9Result(
         malicious_counts=tuple(malicious_counts),
         fraction_dropped=dropped,
@@ -191,20 +225,25 @@ def run_fig10(
     runs: int = 3,
     coverage: Optional[CoverageParams] = None,
     analytical_neighbors: float = 15.0,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> Fig10Result:
     """Figure 10: sweep θ at N_B = 15 with M = 2 colluders."""
     config = base if base is not None else ScenarioConfig(
         n_nodes=60, avg_neighbors=15.0, duration=220.0, n_malicious=2
     )
-    sim_detection: Dict[int, float] = {}
-    sim_latency: Dict[int, Optional[float]] = {}
-    for theta in thetas:
-        cfg = replace(
+    point_configs: Dict[Hashable, ScenarioConfig] = {
+        int(theta): replace(
             config,
             liteworp=replace(config.liteworp, theta=int(theta)),
             liteworp_enabled=True,
         )
-        reports = average_runs(cfg, runs)
+        for theta in thetas
+    }
+    grouped = _sweep_reports(point_configs, runs, jobs, cache)
+    sim_detection: Dict[int, float] = {}
+    sim_latency: Dict[int, Optional[float]] = {}
+    for theta, reports in grouped.items():
         detected: List[float] = []
         latencies: List[float] = []
         for report in reports:

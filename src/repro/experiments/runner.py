@@ -1,0 +1,137 @@
+"""Parallel sweep execution over scenario configs.
+
+The paper's evaluation is embarrassingly parallel: every figure averages
+~30 independent replications per parameter point, and every replication
+is a pure function of its :class:`ScenarioConfig`.  The
+:class:`SweepRunner` exploits exactly that structure:
+
+- **Determinism** — replication seeds are derived per-config *before*
+  dispatch (:mod:`repro.experiments.seeds`), and each worker builds its
+  own simulator from scratch, so a parallel sweep returns byte-identical
+  reports to a serial one, in the same order.
+- **Parallelism** — misses fan out over a ``ProcessPoolExecutor``
+  (``jobs`` workers; ``-1`` means one per CPU).  ``jobs`` of ``None``,
+  ``0`` or ``1`` stays fully in-process, which is also the fallback the
+  tests rely on for platforms without working multiprocessing.
+- **Caching** — with a :class:`~repro.experiments.cache.ResultCache`
+  attached, already-computed points are served from disk and only the
+  misses are simulated.
+
+``parallel_map`` is the underlying order-preserving primitive; chaos
+sweeps and the microbenchmarks reuse it for non-``ScenarioConfig`` work
+items (anything picklable mapped through a module-level function).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.experiments.seeds import child_seed
+from repro.metrics.collector import MetricsReport
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Worker-count policy: None/0/1 -> serial, -1 -> all CPUs, n -> n."""
+    if jobs is None or jobs == 0 or jobs == 1:
+        return 1
+    if jobs < 0:
+        return max(1, os.cpu_count() or 1)
+    return int(jobs)
+
+
+def parallel_map(
+    fn: Callable[[ItemT], ResultT],
+    items: Iterable[ItemT],
+    jobs: Optional[int] = None,
+    chunksize: int = 1,
+) -> List[ResultT]:
+    """Order-preserving map, fanned across processes when ``jobs`` > 1.
+
+    ``fn`` must be a module-level callable and ``items`` picklable when a
+    pool is used; the serial path has no such constraint.
+    """
+    work = list(items)
+    workers = min(resolve_jobs(jobs), len(work))
+    if workers <= 1:
+        return [fn(item) for item in work]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, work, chunksize=max(1, chunksize)))
+
+
+def replication_configs(config: ScenarioConfig, runs: int) -> List[ScenarioConfig]:
+    """The ``runs`` child configs of one sweep point (hash-derived seeds)."""
+    if runs < 1:
+        raise ValueError("runs must be at least 1")
+    return [replace(config, seed=child_seed(config.seed, index)) for index in range(runs)]
+
+
+def _run_config(config: ScenarioConfig) -> MetricsReport:
+    """Module-level worker body (must be picklable for the process pool)."""
+    return run_scenario(config)
+
+
+class SweepRunner:
+    """Executes batches of scenario configs with caching and parallelism.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes (see :func:`resolve_jobs`).
+    cache:
+        Optional result cache consulted before, and populated after,
+        every simulation.
+    """
+
+    def __init__(
+        self, jobs: Optional[int] = None, cache: Optional[ResultCache] = None
+    ) -> None:
+        self.jobs = jobs
+        self.cache = cache
+        self.computed = 0
+        self.cache_hits = 0
+
+    def run_one(self, config: ScenarioConfig) -> MetricsReport:
+        """Run (or fetch) a single scenario."""
+        return self.run_many([config])[0]
+
+    def run_many(self, configs: Sequence[ScenarioConfig]) -> List[MetricsReport]:
+        """Run every config, returning reports in input order.
+
+        Cache hits are resolved up front; only the misses are simulated
+        (in parallel when configured), then written back to the cache.
+        """
+        configs = list(configs)
+        results: List[Optional[MetricsReport]] = [None] * len(configs)
+        miss_indices: List[int] = []
+        if self.cache is not None:
+            for position, config in enumerate(configs):
+                cached = self.cache.get(config)
+                if cached is not None:
+                    results[position] = cached
+                    self.cache_hits += 1
+                else:
+                    miss_indices.append(position)
+        else:
+            miss_indices = list(range(len(configs)))
+
+        if miss_indices:
+            missed_configs = [configs[i] for i in miss_indices]
+            reports = parallel_map(_run_config, missed_configs, jobs=self.jobs)
+            self.computed += len(reports)
+            for position, report in zip(miss_indices, reports):
+                results[position] = report
+                if self.cache is not None:
+                    self.cache.put(configs[position], report)
+        return [report for report in results if report is not None]
+
+    def average_runs(self, config: ScenarioConfig, runs: int) -> List[MetricsReport]:
+        """The paper's N-replication average for one sweep point."""
+        return self.run_many(replication_configs(config, runs))

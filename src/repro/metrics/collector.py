@@ -98,6 +98,48 @@ class MetricsReport:
         """Cumulative wormhole drops sampled at each time."""
         return [self.cumulative_drops_at(t) for t in times]
 
+    def to_state(self) -> Dict[str, object]:
+        """Full-fidelity JSON-serialisable state (see :meth:`from_state`).
+
+        Unlike :meth:`to_dict` — a human-oriented summary that elides the
+        drop-time series — this preserves every field exactly, so a report
+        written to the result cache and read back compares equal to the
+        report the run produced.
+        """
+        return {
+            "duration": self.duration,
+            "originated": self.originated,
+            "delivered": self.delivered,
+            "wormhole_drops": self.wormhole_drops,
+            "routes_established": self.routes_established,
+            "malicious_routes": self.malicious_routes,
+            "drop_times": list(self.drop_times),
+            "isolation_times": {str(k): v for k, v in self.isolation_times.items()},
+            "first_activity": {str(k): v for k, v in self.first_activity.items()},
+            "detections": self.detections,
+            "isolations": self.isolations,
+            "false_isolations": {str(k): v for k, v in self.false_isolations.items()},
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "MetricsReport":
+        """Rebuild a report serialised by :meth:`to_state` (JSON round-trip
+        safe: node-id keys come back as strings and are re-int'ed here)."""
+        return cls(
+            duration=float(state["duration"]),  # type: ignore[arg-type]
+            originated=int(state["originated"]),  # type: ignore[arg-type]
+            delivered=int(state["delivered"]),  # type: ignore[arg-type]
+            wormhole_drops=int(state["wormhole_drops"]),  # type: ignore[arg-type]
+            routes_established=int(state["routes_established"]),  # type: ignore[arg-type]
+            malicious_routes=int(state["malicious_routes"]),  # type: ignore[arg-type]
+            drop_times=tuple(state["drop_times"]),  # type: ignore[arg-type]
+            isolation_times={int(k): v for k, v in state["isolation_times"].items()},  # type: ignore[union-attr]
+            first_activity={int(k): v for k, v in state["first_activity"].items()},  # type: ignore[union-attr]
+            detections=int(state["detections"]),  # type: ignore[arg-type]
+            isolations=int(state["isolations"]),  # type: ignore[arg-type]
+            false_isolations={int(k): v for k, v in state["false_isolations"].items()},  # type: ignore[union-attr]
+        )
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-serialisable summary (drop times elided to a count)."""
         return {

@@ -21,28 +21,51 @@ The channel does not queue or defer; carrier sensing and backoff live in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.net.packet import Frame, NodeId
-from repro.net.radio import UnitDiskRadio, distance
+from repro.net.radio import UnitDiskRadio
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceLog
 
 
-@dataclass
 class Reception:
-    """An in-flight reception at one receiver."""
+    """An in-flight reception at one receiver.
 
-    receiver: NodeId
-    frame: Frame
-    start: float
-    end: float
-    distance: float = 0.0
-    collided: bool = False
-    lost: bool = False
-    tags: Dict[str, object] = field(default_factory=dict)
+    A slotted plain class rather than a dataclass: one instance is built
+    per (transmission, in-range receiver), which makes this the single
+    most-allocated object in a run.
+    """
+
+    __slots__ = (
+        "receiver", "frame", "start", "end", "distance",
+        "collided", "lost", "on_outcome",
+    )
+
+    def __init__(
+        self,
+        receiver: NodeId,
+        frame: Frame,
+        start: float,
+        end: float,
+        distance: float = 0.0,
+    ) -> None:
+        self.receiver = receiver
+        self.frame = frame
+        self.start = start
+        self.end = end
+        self.distance = distance
+        self.collided = False
+        self.lost = False
+        # Link-layer ACK callback for the unicast destination (else None).
+        self.on_outcome: Optional[Callable[[bool], None]] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "collided" if self.collided else ("lost" if self.lost else "ok")
+        return (
+            f"<Reception rx={self.receiver} [{self.start:.6f}, {self.end:.6f}] {state}>"
+        )
 
 
 class Channel:
@@ -223,34 +246,47 @@ class Channel:
         for observer in self._tx_observers:
             observer(sender, frame, now)
 
-        sender_pos = self._radio.position(sender)
+        # Everything below runs once per transmission for every in-range
+        # receiver — the innermost loop of the whole simulator.  The
+        # receiver set and all sender->receiver distances come from the
+        # radio's static-topology memo, and the per-iteration attribute
+        # lookups are hoisted.
+        delivery_handlers = self._delivery_handlers
+        receive_gates = self._receive_gates
+        blocked = self._blocked_links
+        tx_until = self._tx_until
+        in_flight = self._in_flight
+        ambient_loss = self._ambient_loss
+        schedule = self._sim.schedule
+        finish = self._finish_reception
+        link_dst = frame.link_dst if on_unicast_outcome is not None else None
         destination_covered = False
-        for receiver in self._radio.coverage(sender, tx_range):
-            if receiver not in self._delivery_handlers:
+        for receiver, dist in self._radio.coverage_with_distance(sender, tx_range):
+            if receiver not in delivery_handlers:
                 continue
-            if self._blocked_links and self.link_is_down(sender, receiver):
+            if blocked and self.link_is_down(sender, receiver):
                 continue
-            gate = self._receive_gates.get(receiver)
+            gate = receive_gates.get(receiver)
             if gate is not None and not gate():
                 continue
-            dist = distance(sender_pos, self._radio.position(receiver))
-            reception = Reception(
-                receiver=receiver, frame=frame, start=now, end=end, distance=dist
-            )
-            if self._tx_until.get(receiver, 0.0) > now:
+            reception = Reception(receiver, frame, now, end, dist)
+            if tx_until.get(receiver, 0.0) > now:
                 # Receiver is itself transmitting: misses the frame.
                 reception.collided = True
                 self.collisions += 1
-            queue = self._in_flight.setdefault(receiver, [])
-            for other in queue:
-                self._resolve_overlap(reception, other)
-            if self._ambient_loss and self._rng.random() < self._ambient_loss:
+            queue = in_flight.get(receiver)
+            if queue is None:
+                queue = in_flight[receiver] = []
+            else:
+                for other in queue:
+                    self._resolve_overlap(reception, other)
+            if ambient_loss and self._rng.random() < ambient_loss:
                 reception.lost = True
-            if on_unicast_outcome is not None and receiver == frame.link_dst:
+            if receiver == link_dst:
                 destination_covered = True
-                reception.tags["on_outcome"] = on_unicast_outcome
+                reception.on_outcome = on_unicast_outcome
             queue.append(reception)
-            self._sim.schedule(duration, self._finish_reception, reception)
+            schedule(duration, finish, reception)
         if on_unicast_outcome is not None and not destination_covered:
             # Destination out of range (or detached): the ACK never comes.
             self._sim.schedule(duration, on_unicast_outcome, False)
@@ -278,7 +314,7 @@ class Channel:
                 pass
         for observer in self._reception_observers:
             observer(reception)
-        outcome = reception.tags.get("on_outcome")
+        outcome = reception.on_outcome
         if reception.collided or reception.lost:
             if self._trace is not None:
                 self._trace.emit(

@@ -40,6 +40,13 @@ class UnitDiskRadio:
         self._default_range = float(default_range)
         self._range_overrides: Dict[NodeId, float] = {}
         self._coverage_cache: Dict[Tuple[NodeId, float], Tuple[NodeId, ...]] = {}
+        # Hot-path memos over the static topology: per-(sender, range)
+        # receiver/distance lists (what the channel iterates on every
+        # transmission) and the symmetric pairwise distance table.
+        self._coverage_dist_cache: Dict[
+            Tuple[NodeId, float], Tuple[Tuple[NodeId, float], ...]
+        ] = {}
+        self._pair_distances: Dict[Tuple[NodeId, NodeId], float] = {}
 
     @property
     def default_range(self) -> float:
@@ -56,9 +63,26 @@ class UnitDiskRadio:
         return self._positions[node]
 
     def set_position(self, node: NodeId, position: Position) -> None:
-        """Move a node (mobility extension); invalidates the coverage cache."""
+        """Move a node (mobility extension); invalidates all distance memos."""
         self._positions[node] = position
         self._coverage_cache.clear()
+        self._coverage_dist_cache.clear()
+        self._pair_distances.clear()
+
+    def distance_between(self, a: NodeId, b: NodeId) -> float:
+        """Memoized Euclidean distance between two nodes.
+
+        The topology is static for the whole run in every paper scenario,
+        so each pair's distance is computed at most once; a position
+        update (mobility) flushes the table.
+        """
+        key = (a, b) if a <= b else (b, a)
+        cached = self._pair_distances.get(key)
+        if cached is None:
+            positions = self._positions
+            cached = distance(positions[a], positions[b])
+            self._pair_distances[key] = cached
+        return cached
 
     def tx_range(self, node: NodeId) -> float:
         """Effective transmit range of ``node`` (override or default)."""
@@ -82,13 +106,38 @@ class UnitDiskRadio:
         cached = self._coverage_cache.get(cache_key)
         if cached is not None:
             return cached
-        origin = self._positions[sender]
         covered = tuple(
-            node
-            for node, pos in self._positions.items()
-            if node != sender and distance(origin, pos) <= tx_range
+            node for node, _ in self.coverage_with_distance(sender, tx_range)
         )
         self._coverage_cache[cache_key] = covered
+        return covered
+
+    def coverage_with_distance(
+        self, sender: NodeId, tx_range: float | None = None
+    ) -> Tuple[Tuple[NodeId, float], ...]:
+        """``(receiver, distance)`` pairs within the sender's range.
+
+        This is the channel's per-transmission hot path: the receiver set
+        *and* every receiver's distance are fixed for a static topology,
+        so both are computed once per ``(sender, range)`` and replayed on
+        every subsequent transmission.
+        """
+        if tx_range is None:
+            tx_range = self.tx_range(sender)
+        cache_key = (sender, tx_range)
+        cached = self._coverage_dist_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        origin = self._positions[sender]
+        pairs = []
+        for node, pos in self._positions.items():
+            if node == sender:
+                continue
+            dist = distance(origin, pos)
+            if dist <= tx_range:
+                pairs.append((node, dist))
+        covered = tuple(pairs)
+        self._coverage_dist_cache[cache_key] = covered
         return covered
 
     def neighbors(self, node: NodeId) -> Tuple[NodeId, ...]:
@@ -103,7 +152,7 @@ class UnitDiskRadio:
 
     def are_neighbors(self, a: NodeId, b: NodeId) -> bool:
         """Whether a and b are within the default range of each other."""
-        return distance(self._positions[a], self._positions[b]) <= self._default_range
+        return self.distance_between(a, b) <= self._default_range
 
     def common_neighbors(self, a: NodeId, b: NodeId) -> Tuple[NodeId, ...]:
         """Nodes within default range of both a and b — guard candidates."""
@@ -112,11 +161,10 @@ class UnitDiskRadio:
 
     def audible_from(self, receiver: NodeId, senders: Iterable[NodeId]) -> List[NodeId]:
         """Subset of ``senders`` whose transmissions reach ``receiver``."""
-        rx_pos = self._positions[receiver]
         result = []
         for sender in senders:
             if sender == receiver:
                 continue
-            if distance(self._positions[sender], rx_pos) <= self.tx_range(sender):
+            if self.distance_between(sender, receiver) <= self.tx_range(sender):
                 result.append(sender)
         return result

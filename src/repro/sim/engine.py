@@ -28,6 +28,13 @@ class SimulationError(RuntimeError):
     """Raised for scheduler misuse (negative delays, running twice, ...)."""
 
 
+# Shared immutable-by-convention empties: most events carry no kwargs (and
+# many no args), so the per-event dict/tuple allocations are skipped.  The
+# dispatch loop never mutates either.
+_NO_ARGS: Tuple[Any, ...] = ()
+_NO_KWARGS: dict = {}
+
+
 class Event:
     """A scheduled callback.
 
@@ -152,7 +159,7 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule in the past: t={time!r} < now={self._now!r}"
             )
-        event = Event(time, callback, args, kwargs)
+        event = Event(time, callback, args or _NO_ARGS, kwargs or _NO_KWARGS)
         heapq.heappush(self._heap, (time, next(self._sequence), event))
         return event
 
@@ -177,17 +184,26 @@ class Simulator:
             raise SimulationError(f"until={until!r} is in the past (now={self._now!r})")
         self._running = True
         executed = 0
+        # The dispatch loop below is the kernel's hot path: heap access and
+        # the event's slot flags are touched directly (no properties, no
+        # per-iteration attribute lookups on self or the heapq module).
+        heap = self._heap
+        heappop = heapq.heappop
         try:
-            while self._heap:
-                time, _, event = self._heap[0]
+            while heap:
+                time, _, event = heap[0]
                 if until is not None and time > until:
                     break
-                heapq.heappop(self._heap)
-                if not event.pending:
+                heappop(heap)
+                if event._cancelled or event._fired:
                     continue
                 self._now = time
                 event._fired = True
-                event.callback(*event.args, **event.kwargs)
+                kwargs = event.kwargs
+                if kwargs:
+                    event.callback(*event.args, **kwargs)
+                else:
+                    event.callback(*event.args)
                 self._events_processed += 1
                 executed += 1
                 if max_events is not None and executed >= max_events:

@@ -74,6 +74,50 @@ def test_run_command_json_output(tmp_path, capsys):
     assert payload["originated"] >= 0
 
 
+def test_fig10_jobs_and_cache_flags(tmp_path, capsys):
+    argv = ["fig10", "--nodes", "40", "--duration", "120", "--runs", "1",
+            "--jobs", "2", "--cache-dir", str(tmp_path / "cache")]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    # Second invocation is served from the cache and must print the same table.
+    assert main(argv) == 0
+    assert capsys.readouterr().out == first
+    assert any((tmp_path / "cache").rglob("*.json"))
+
+
+def test_fig10_no_cache_flag(tmp_path, capsys):
+    argv = ["fig10", "--nodes", "40", "--duration", "120", "--runs", "1",
+            "--no-cache", "--cache-dir", str(tmp_path / "cache")]
+    assert main(argv) == 0
+    assert "theta" in capsys.readouterr().out
+    assert not (tmp_path / "cache").exists()
+
+
+def test_profile_flag_prints_hot_spots(capsys):
+    code = main(["--profile", "--profile-top", "5", "run", "--nodes", "16",
+                 "--duration", "40", "--attack", "none", "--defense", "none"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cProfile: top 5" in out
+    assert "cumulative" in out
+
+
+def test_bench_command_quick(tmp_path, capsys):
+    code = main(["bench", "--only", "engine", "--output-dir", str(tmp_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "engine:" in out
+    import json
+    payload = json.loads((tmp_path / "BENCH_engine.json").read_text())
+    assert payload["name"] == "engine"
+    assert payload["samples"]
+
+
+def test_bench_rejects_unknown_name(tmp_path):
+    with pytest.raises(ValueError):
+        main(["bench", "--only", "bogus", "--output-dir", str(tmp_path)])
+
+
 def test_chaos_parser_defaults():
     args = build_parser().parse_args(["chaos", "--no-liveness", "--seed", "9"])
     assert args.command == "chaos"

@@ -1,0 +1,106 @@
+"""Parallel sweep runner: determinism, ordering, caching, fan-out."""
+
+import json
+
+import pytest
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.runner import (
+    SweepRunner,
+    parallel_map,
+    replication_configs,
+    resolve_jobs,
+)
+from repro.experiments.scenario import ScenarioConfig, average_runs
+from repro.experiments.seeds import child_seed
+
+TINY = ScenarioConfig(n_nodes=16, duration=40.0, seed=4, attack_start=20.0)
+
+
+def _canonical(reports):
+    return [json.dumps(r.to_state(), sort_keys=True) for r in reports]
+
+
+def test_resolve_jobs_policy():
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(0) == 1
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs(-1) >= 1
+
+
+def test_replication_configs_use_hash_seeds():
+    configs = replication_configs(TINY, 3)
+    assert [c.seed for c in configs] == [child_seed(4, i) for i in range(3)]
+    assert configs[0] == TINY  # index 0 is the base config itself
+    with pytest.raises(ValueError):
+        replication_configs(TINY, 0)
+
+
+def test_parallel_equals_serial_byte_identical():
+    """The acceptance property: a parallel sweep returns byte-identical
+    MetricsReports to a serial sweep of the same configs, in order."""
+    configs = replication_configs(TINY, 3)
+    serial = SweepRunner(jobs=None).run_many(configs)
+    parallel = SweepRunner(jobs=2).run_many(configs)
+    assert serial == parallel
+    assert _canonical(serial) == _canonical(parallel)
+
+
+def test_average_runs_parallel_matches_serial():
+    serial = average_runs(TINY, 3)
+    parallel = average_runs(TINY, 3, jobs=2)
+    assert _canonical(serial) == _canonical(parallel)
+
+
+def test_cache_hit_returns_identical_report(tmp_path):
+    configs = replication_configs(TINY, 2)
+    first = SweepRunner(cache=ResultCache(tmp_path))
+    computed = first.run_many(configs)
+    assert first.computed == 2 and first.cache_hits == 0
+
+    second = SweepRunner(cache=ResultCache(tmp_path))
+    cached = second.run_many(configs)
+    assert second.computed == 0 and second.cache_hits == 2
+    assert cached == computed
+    assert _canonical(cached) == _canonical(computed)
+
+
+def test_partial_cache_only_computes_misses(tmp_path):
+    configs = replication_configs(TINY, 3)
+    warm = SweepRunner(cache=ResultCache(tmp_path))
+    warm.run_many(configs[:1])
+    mixed = SweepRunner(cache=ResultCache(tmp_path))
+    reports = mixed.run_many(configs)
+    assert mixed.cache_hits == 1
+    assert mixed.computed == 2
+    assert _canonical(reports) == _canonical(SweepRunner().run_many(configs))
+
+
+def test_run_one_matches_run_scenario():
+    from repro.experiments.scenario import run_scenario
+
+    assert SweepRunner().run_one(TINY) == run_scenario(TINY)
+
+
+def test_parallel_map_preserves_order():
+    assert parallel_map(_square, [3, 1, 2], jobs=2) == [9, 1, 4]
+    assert parallel_map(_square, [], jobs=2) == []
+    assert parallel_map(_square, [5], jobs=2) == [25]
+
+
+def test_chaos_sweep_parallel_matches_serial():
+    from repro.experiments.chaos import ChaosConfig, run_chaos_sweep
+
+    configs = [
+        ChaosConfig(n_nodes=24, duration=100.0, seed=seed, crash_at=50.0,
+                    loss_at=60.0, loss_duration=20.0)
+        for seed in (1, 2)
+    ]
+    serial = run_chaos_sweep(configs)
+    parallel = run_chaos_sweep(configs, jobs=2)
+    assert [r.format() for r in serial] == [r.format() for r in parallel]
+
+
+def _square(value):
+    return value * value
