@@ -12,6 +12,13 @@ Commands
 - ``chaos`` — fault-injection run: guards crash mid-run under a loss
   burst; reports detection survival and false-isolation counts.
 - ``bench`` — the microbenchmark suite; writes ``BENCH_*.json``.
+- ``trace`` — observability tooling: ``export`` streams one run's trace
+  to JSONL, ``stats`` summarises an export, ``check`` validates it
+  against the schema registry and the protocol invariants.
+
+The figure and chaos commands accept ``--trace-out`` / ``--trace-strict``
+/ ``--trace-ring`` to stream their traces while they run (``--trace-out``
+bypasses result-cache reads so the export is always complete).
 
 The global ``--profile`` flag wraps any command in cProfile and prints
 the top cumulative hot spots afterwards.
@@ -61,6 +68,19 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="do not read or write the on-disk result cache")
         sub_parser.add_argument("--cache-dir", default=".repro-cache",
                                 help="result cache directory (default .repro-cache)")
+        add_trace_options(sub_parser)
+
+    def add_trace_options(sub_parser: argparse.ArgumentParser) -> None:
+        """Observability flags shared by figure/chaos/run commands."""
+        sub_parser.add_argument("--trace-out", default=None, metavar="FILE",
+                                help="stream every trace record to this JSONL file "
+                                     "(disables result-cache reads)")
+        sub_parser.add_argument("--trace-strict", action="store_true",
+                                help="validate every emitted record against the "
+                                     "trace schema registry (raises on mismatch)")
+        sub_parser.add_argument("--trace-ring", type=int, default=None, metavar="N",
+                                help="bound the in-memory trace to the newest N "
+                                     "records (sinks still see everything)")
 
     run_p = sub.add_parser("run", help="run one scenario and print the report")
     run_p.add_argument("--nodes", type=int, default=50)
@@ -120,6 +140,43 @@ def build_parser() -> argparse.ArgumentParser:
                          help="ablate the heartbeat failure detector")
     chaos_p.add_argument("--json", dest="json_path", default=None,
                          help="also write the robustness report as JSON to this path")
+    add_trace_options(chaos_p)
+
+    trace_p = sub.add_parser("trace", help="trace export / stats / invariant check")
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+
+    export_p = trace_sub.add_parser(
+        "export", help="run one scenario, streaming its trace to JSONL"
+    )
+    export_p.add_argument("--out", required=True, metavar="FILE",
+                          help="JSONL output path (appended; delete to restart)")
+    export_p.add_argument("--nodes", type=int, default=50)
+    export_p.add_argument("--duration", type=float, default=240.0)
+    export_p.add_argument("--seed", type=int, default=1)
+    export_p.add_argument("--attack", choices=ATTACK_MODES, default="outofband")
+    export_p.add_argument("--malicious", type=int, default=2)
+    export_p.add_argument("--attack-start", type=float, default=40.0)
+    export_p.add_argument("--defense", choices=DEFENSES, default="liteworp")
+    export_p.add_argument("--strict", action="store_true",
+                          help="schema-validate every record while emitting")
+    export_p.add_argument("--ring", type=int, default=None, metavar="N",
+                          help="bound in-memory residency to N records")
+
+    stats_p = trace_sub.add_parser("stats", help="summarise a JSONL trace export")
+    stats_p.add_argument("file", help="JSONL trace export to read")
+    stats_p.add_argument("--json", dest="json_path", default=None,
+                         help="also write the stats as JSON to this path")
+
+    check_p = trace_sub.add_parser(
+        "check", help="schema-validate and invariant-check a JSONL export"
+    )
+    check_p.add_argument("file", help="JSONL trace export to read")
+    check_p.add_argument("--theta", type=int, default=3,
+                         help="alert quorum the isolation invariant expects "
+                              "(default 3, the paper's θ)")
+    check_p.add_argument("--fail-on-attack", action="store_true",
+                         help="exit nonzero on attack evidence too, not just "
+                              "schema errors / protocol violations")
 
     sub.add_parser("fig6", help="analytical coverage curves (6a and 6b)")
     sub.add_parser("cost", help="section 5.2 cost table")
@@ -161,14 +218,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _obs_from_args(args: argparse.Namespace) -> Optional["ObsConfig"]:
+    """Build the ObsConfig requested by --trace-* flags (None when unused)."""
+    trace_out = getattr(args, "trace_out", None)
+    strict = getattr(args, "trace_strict", False)
+    ring = getattr(args, "trace_ring", None)
+    if trace_out is None and not strict and ring is None:
+        return None
+    from repro.obs.config import ObsConfig
+
+    return ObsConfig(trace_path=trace_out, strict=strict, ring_capacity=ring)
+
+
 def _sweep_kwargs(args: argparse.Namespace) -> dict:
-    """jobs/cache keyword arguments for the figure runners."""
+    """jobs/cache/obs keyword arguments for the figure runners."""
+    obs = _obs_from_args(args)
     cache = None
     if getattr(args, "use_cache", False):
         from repro.experiments.cache import ResultCache
 
         cache = ResultCache(args.cache_dir)
-    return {"jobs": args.jobs or None, "cache": cache}
+    if obs is not None and obs.trace_path is not None:
+        # An export must contain every run's records; the runner already
+        # skips cache reads for exporting configs, dropping the cache
+        # entirely keeps the figure's provenance unambiguous.
+        cache = None
+    return {"jobs": args.jobs or None, "cache": cache, "obs": obs}
 
 
 def _cmd_fig8(args: argparse.Namespace) -> int:
@@ -216,6 +291,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         recover_fraction=args.recover_fraction,
         loss_probability=args.loss,
         liveness=args.liveness,
+        obs=_obs_from_args(args),
     )
     result = run_chaos(config)
     print(result.format())
@@ -227,6 +303,110 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(result.robustness.to_dict(), indent=2) + "\n")
         print(f"report written to {path}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    handlers = {
+        "export": _trace_export,
+        "stats": _trace_stats,
+        "check": _trace_check,
+    }
+    return handlers[args.trace_command](args)
+
+
+def _trace_export(args: argparse.Namespace) -> int:
+    from repro.obs.config import ObsConfig
+
+    config = ScenarioConfig(
+        n_nodes=args.nodes,
+        duration=args.duration,
+        seed=args.seed,
+        attack_mode=args.attack,
+        n_malicious=args.malicious if args.attack != "none" else 0,
+        attack_start=args.attack_start,
+        defense=args.defense,
+        obs=ObsConfig(trace_path=args.out, strict=args.strict, ring_capacity=args.ring),
+    )
+    scenario = build_scenario(config)
+    scenario.run()
+    print(f"exported {scenario.trace.total_emitted} records to {args.out}")
+    print(f"peak resident records : {scenario.trace.peak_resident}")
+    print(f"evicted (ring mode)   : {scenario.trace.dropped_records}")
+    return 0
+
+
+def _trace_stats(args: argparse.Namespace) -> int:
+    from collections import Counter
+
+    from repro.obs.sinks import read_jsonl
+
+    kinds: "Counter[str]" = Counter()
+    runs = set()
+    total = 0
+    first_time = last_time = None
+    for record in read_jsonl(args.file):
+        total += 1
+        kinds[record.kind] += 1
+        run = record.fields.get("__run__")
+        if run is not None:
+            runs.add(run)
+        if first_time is None or record.time < first_time:
+            first_time = record.time
+        if last_time is None or record.time > last_time:
+            last_time = record.time
+    print(f"records : {total}")
+    print(f"runs    : {len(runs) or 1}")
+    if first_time is not None:
+        print(f"time    : {first_time:.3f} .. {last_time:.3f} s")
+    print("kinds   :")
+    for kind, count in kinds.most_common():
+        print(f"  {kind:28s} {count}")
+    if args.json_path:
+        import json
+        import pathlib
+
+        payload = {
+            "records": total,
+            "runs": len(runs) or 1,
+            "first_time": first_time,
+            "last_time": last_time,
+            "kinds": dict(kinds),
+        }
+        path = pathlib.Path(args.json_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"stats written to {path}")
+    return 0
+
+
+def _trace_check(args: argparse.Namespace) -> int:
+    from repro.obs.invariants import check_export
+    from repro.obs.schema import DEFAULT_REGISTRY
+    from repro.obs.sinks import read_jsonl
+
+    schema_errors = 0
+    records = []
+    for record in read_jsonl(args.file):
+        fields = {k: v for k, v in record.fields.items() if k != "__run__"}
+        probe = type(record)(time=record.time, kind=record.kind, fields=fields)
+        for problem in DEFAULT_REGISTRY.errors(probe):
+            schema_errors += 1
+            print(f"schema: t={record.time:.3f} {problem}")
+        records.append(record)
+    violations, runs = check_export(records, theta=args.theta)
+    protocol = [v for v in violations if v.category == "protocol"]
+    attack = [v for v in violations if v.category == "attack"]
+    for violation in violations:
+        print(f"{violation.category}: t={violation.time:.3f} "
+              f"[{violation.rule}] {violation.message}")
+    print(f"checked {len(records)} records across {runs} run(s): "
+          f"{schema_errors} schema error(s), {len(protocol)} protocol "
+          f"violation(s), {len(attack)} attack observation(s)")
+    if schema_errors or protocol:
+        return 1
+    if args.fail_on_attack and attack:
+        return 1
     return 0
 
 
@@ -260,6 +440,7 @@ _COMMANDS = {
     "fig9": _cmd_fig9,
     "fig10": _cmd_fig10,
     "chaos": _cmd_chaos,
+    "trace": _cmd_trace,
     "fig6": _cmd_fig6,
     "cost": _cmd_cost,
     "taxonomy": _cmd_taxonomy,

@@ -140,8 +140,15 @@ class IsolationManager:
     # Bounded retransmission (acked dissemination)
     # ------------------------------------------------------------------
     def _arm_retry(self, accused: NodeId, recipient: NodeId, attempt: int) -> None:
+        key = (accused, recipient)
+        stale = self._pending_acks.get(key)
+        if stale is not None:
+            # Re-detection (e.g. after a crash-recover cycle) restarts the
+            # backoff ladder; the superseded deadline must not keep firing
+            # alongside the new one.
+            stale.cancel()
         deadline = self.config.alert_retry_timeout * (2 ** attempt)
-        self._pending_acks[(accused, recipient)] = self.sim.schedule(
+        self._pending_acks[key] = self.sim.schedule(
             deadline, self._retry_alert, accused, recipient, attempt
         )
 
@@ -156,12 +163,16 @@ class IsolationManager:
                 accused=accused, recipient=recipient, attempts=attempt,
             )
             return
+        if not self._transmit_alert(accused, recipient):
+            # Transmission could not be attempted (relay gone, key missing,
+            # link down): the same backoff ladder cannot succeed, so stop
+            # instead of burning the remaining retry budget.
+            return
         self.alert_retransmits += 1
         self.trace.emit(
             self.sim.now, "alert_retransmit", guard=self.node.node_id,
             accused=accused, recipient=recipient, attempt=attempt + 1,
         )
-        self._transmit_alert(accused, recipient)
         self._arm_retry(accused, recipient, attempt + 1)
 
     def _ack_alert(self, packet: AlertPacket, via: NodeId) -> None:

@@ -84,6 +84,7 @@ class LocalMonitor:
         self.suppressed_accusations = 0
         self.suspended_accusations = 0
         self.watch_buffer_peak = 0
+        self.malc_total = 0
         # Liveness refinement: when set, accusations against nodes the
         # predicate reports as not-alive are suspended (a crashed neighbor
         # is not a malicious dropper).
@@ -124,7 +125,10 @@ class LocalMonitor:
         """Record that the radio sensed a garbled reception at ``time``."""
         self._loss_counter += 1
         self._recent_losses[self._loss_counter] = time
-        cutoff = time - self.config.overheard_window
+        # Drop-suppression consults losses as old as a watch-buffer entry
+        # (δ seconds), so the history must stay at least that deep even
+        # when δ exceeds the overheard window.
+        cutoff = time - max(self.config.overheard_window, self.config.delta)
         while self._recent_losses:
             key, stamp = next(iter(self._recent_losses.items()))
             if stamp >= cutoff:
@@ -310,6 +314,7 @@ class LocalMonitor:
             )
             return
         total = self.table.record_malicious(node, value, self.sim.now, self.config.malc_window)
+        self.malc_total += value
         self.trace.emit(
             self.sim.now,
             "malc_increment",

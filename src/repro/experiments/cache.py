@@ -35,7 +35,8 @@ from typing import Any, Dict, Optional, Union
 from repro.metrics.collector import MetricsReport
 
 #: Bump when the on-disk entry format (not the simulator) changes shape.
-CACHE_SCHEMA_VERSION = 1
+#: 2: MetricsReport grew per-node protocol counters (node_counters).
+CACHE_SCHEMA_VERSION = 2
 
 
 # ----------------------------------------------------------------------

@@ -27,7 +27,7 @@ byte-identical :meth:`ChaosResult.format`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import LiteworpConfig
 from repro.experiments.scenario import Scenario, ScenarioConfig, build_scenario
@@ -35,6 +35,7 @@ from repro.faults.plan import CrashRecover, CrashStop, Fault, FaultPlan, LossBur
 from repro.metrics.collector import MetricsReport
 from repro.metrics.robustness import RobustnessCollector, RobustnessReport
 from repro.net.packet import NodeId
+from repro.obs.config import ObsConfig
 from repro.routing.config import RoutingConfig
 from repro.traffic.generator import TrafficConfig
 
@@ -75,6 +76,8 @@ class ChaosConfig:
     liveness: bool = True
     heartbeat_period: float = 2.0
     alert_retries: int = 2
+    # Observability switches (see repro.obs); None = zero overhead.
+    obs: Optional["ObsConfig"] = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.crash_fraction <= 1.0:
@@ -128,6 +131,7 @@ class ChaosConfig:
             liteworp=liteworp,
             routing=RoutingConfig(route_timeout=self.route_timeout),
             traffic=TrafficConfig(data_rate=self.data_rate),
+            obs=self.obs,
         )
 
 

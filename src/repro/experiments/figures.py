@@ -19,6 +19,7 @@ from repro.experiments.cache import ResultCache
 from repro.experiments.runner import SweepRunner, replication_configs
 from repro.experiments.scenario import ScenarioConfig
 from repro.metrics.collector import MetricsReport
+from repro.obs.config import ObsConfig
 
 
 def _mean(values: Sequence[float]) -> float:
@@ -84,9 +85,12 @@ def run_fig8(
     sample_interval: float = 25.0,
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    obs: Optional["ObsConfig"] = None,
 ) -> Fig8Result:
     """Figure 8: cumulative dropped packets with and without LITEWORP."""
     config = base if base is not None else ScenarioConfig(n_nodes=100, duration=300.0)
+    if obs is not None:
+        config = replace(config, obs=obs)
     times = tuple(
         config.attack_start * 0 + t
         for t in _sample_times(config.duration, sample_interval)
@@ -156,9 +160,12 @@ def run_fig9(
     runs: int = 2,
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    obs: Optional["ObsConfig"] = None,
 ) -> Fig9Result:
     """Figure 9: snapshot fractions for M = 0..4, with/without LITEWORP."""
     config = base if base is not None else ScenarioConfig(n_nodes=100, duration=300.0)
+    if obs is not None:
+        config = replace(config, obs=obs)
     point_configs: Dict[Hashable, ScenarioConfig] = {}
     for m in malicious_counts:
         for liteworp in (False, True):
@@ -227,11 +234,14 @@ def run_fig10(
     analytical_neighbors: float = 15.0,
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    obs: Optional["ObsConfig"] = None,
 ) -> Fig10Result:
     """Figure 10: sweep θ at N_B = 15 with M = 2 colluders."""
     config = base if base is not None else ScenarioConfig(
         n_nodes=60, avg_neighbors=15.0, duration=220.0, n_malicious=2
     )
+    if obs is not None:
+        config = replace(config, obs=obs)
     point_configs: Dict[Hashable, ScenarioConfig] = {
         int(theta): replace(
             config,

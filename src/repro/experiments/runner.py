@@ -113,7 +113,11 @@ class SweepRunner:
         miss_indices: List[int] = []
         if self.cache is not None:
             for position, config in enumerate(configs):
-                cached = self.cache.get(config)
+                # A run streaming its trace to disk must actually execute —
+                # serving it from the cache would silently leave its records
+                # out of the export.  (The result is still written back.)
+                exporting = config.obs is not None and config.obs.trace_path is not None
+                cached = None if exporting else self.cache.get(config)
                 if cached is not None:
                     results[position] = cached
                     self.cache_hits += 1

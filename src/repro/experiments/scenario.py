@@ -28,6 +28,7 @@ from repro.faults.controller import FaultController
 from repro.faults.plan import FaultPlan
 from repro.metrics.collector import MetricsCollector, MetricsReport
 from repro.net.network import Network, NetworkConfig
+from repro.obs.config import ObsConfig
 from repro.net.packet import NodeId
 from repro.net.topology import Topology, choose_separated_nodes, generate_connected_topology
 from repro.routing.config import RoutingConfig
@@ -76,6 +77,9 @@ class ScenarioConfig:
     encap_hop_delay: float = 0.02
     highpower_multiplier: float = 3.0
     fault_plan: Optional[FaultPlan] = None
+    # Observability switches (JSONL export / strict schema / ring buffer);
+    # None keeps the zero-overhead default.  See repro.obs.
+    obs: Optional[ObsConfig] = None
 
     def __post_init__(self) -> None:
         # Eager validation: a malformed config must fail at construction
@@ -160,16 +164,26 @@ class Scenario:
 
     def run(self) -> MetricsReport:
         """Execute to the configured horizon and return the metrics."""
+        from repro.obs.counters import snapshot_counters
+
         self.traffic.start()
-        self.sim.run(until=self.config.duration)
-        return self.metrics.report(duration=self.config.duration)
+        try:
+            self.sim.run(until=self.config.duration)
+        finally:
+            # Flush streamed trace exports even when a strict-mode schema
+            # violation (or any other error) aborts the run mid-flight.
+            self.trace.close_sinks()
+        return self.metrics.report(
+            duration=self.config.duration,
+            node_counters=snapshot_counters(self.agents),
+        )
 
 
 def build_scenario(config: ScenarioConfig) -> Scenario:
     """Assemble a deployment per ``config`` (deterministic given the seed)."""
     rng = RngRegistry(seed=config.seed)
     sim = Simulator()
-    trace = TraceLog()
+    trace = _build_trace(config)
     topology = generate_connected_topology(
         config.n_nodes,
         config.tx_range,
@@ -360,6 +374,30 @@ def average_runs(
 # ----------------------------------------------------------------------
 # Internal helpers
 # ----------------------------------------------------------------------
+def _build_trace(config: ScenarioConfig) -> TraceLog:
+    """A trace log with the configured observability wiring installed."""
+    obs = config.obs
+    if obs is None:
+        return TraceLog()
+    trace = TraceLog(capacity=obs.ring_capacity)
+    if obs.strict:
+        from repro.obs.schema import install_strict
+
+        install_strict(trace)
+    if obs.trace_path is not None:
+        from repro.experiments.cache import config_digest
+        from repro.obs.sinks import JsonlSink
+
+        # Tagged so multi-run exports into one file can be regrouped per
+        # run downstream.  The seed alone is not unique — sweep points
+        # share replication seeds — so the tag carries the config digest.
+        # Digested with obs stripped: the tag identifies the simulation,
+        # not where its trace happens to be written.
+        run_tag = f"{config.seed}:{config_digest(replace(config, obs=None))[:12]}"
+        trace.attach_sink(JsonlSink(obs.trace_path, append=True, run=run_tag))
+    return trace
+
+
 def _choose_malicious(
     config: ScenarioConfig, topology: Topology, rng: random.Random
 ) -> List[NodeId]:

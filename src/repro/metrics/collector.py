@@ -43,6 +43,10 @@ class MetricsReport:
     detections: int
     isolations: int
     false_isolations: Dict[NodeId, int] = field(default_factory=dict)
+    # Per-node protocol counters (see repro.obs.counters.snapshot_counters):
+    # MalC totals, watch-buffer peaks, alert send/accept/reject/retransmit
+    # tallies, filter rejects, liveness activity.
+    node_counters: Dict[NodeId, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def undelivered(self) -> int:
@@ -119,6 +123,9 @@ class MetricsReport:
             "detections": self.detections,
             "isolations": self.isolations,
             "false_isolations": {str(k): v for k, v in self.false_isolations.items()},
+            "node_counters": {
+                str(k): dict(v) for k, v in self.node_counters.items()
+            },
         }
 
     @classmethod
@@ -138,6 +145,11 @@ class MetricsReport:
             detections=int(state["detections"]),  # type: ignore[arg-type]
             isolations=int(state["isolations"]),  # type: ignore[arg-type]
             false_isolations={int(k): v for k, v in state["false_isolations"].items()},  # type: ignore[union-attr]
+            # .get: reports cached before this field existed lack it.
+            node_counters={
+                int(k): dict(v)
+                for k, v in state.get("node_counters", {}).items()  # type: ignore[union-attr]
+            },
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -284,7 +296,11 @@ class MetricsCollector:
         """Whether every honest neighbor of ``node`` has revoked it."""
         return node in self.isolation_times
 
-    def report(self, duration: Optional[float] = None) -> MetricsReport:
+    def report(
+        self,
+        duration: Optional[float] = None,
+        node_counters: Optional[Dict[NodeId, Dict[str, int]]] = None,
+    ) -> MetricsReport:
         """Snapshot the accumulated metrics."""
         return MetricsReport(
             duration=duration if duration is not None else self._last_time,
@@ -299,4 +315,5 @@ class MetricsCollector:
             detections=self.detections,
             isolations=self.isolations,
             false_isolations=dict(self.false_isolations),
+            node_counters=dict(node_counters) if node_counters else {},
         )

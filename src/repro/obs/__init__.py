@@ -1,0 +1,50 @@
+"""Observability subsystem: trace schemas, streaming sinks, invariant
+checking, and per-node counter snapshots.
+
+The trace log (:mod:`repro.sim.trace`) is the protocol's flight recorder;
+this package is everything needed to make that trace *operable* at
+production scale:
+
+- :mod:`repro.obs.schema` — the registry declaring the field set of every
+  emitted trace kind, with a strict mode that turns typos into errors.
+- :mod:`repro.obs.sinks` — the streaming sink protocol (JSONL file sink,
+  in-memory sink) that lets multi-minute runs export their full trace
+  while the in-memory log stays bounded (ring mode).
+- :mod:`repro.obs.invariants` — an online checker that subscribes to
+  trace kinds and flags protocol violations as they happen.
+- :mod:`repro.obs.counters` — per-node counter snapshots (MalC totals,
+  watch-buffer peaks, alert send/accept/reject/retransmit counts)
+  exported into :class:`~repro.metrics.collector.MetricsReport`.
+- :mod:`repro.obs.config` — :class:`ObsConfig`, the frozen knob bundle a
+  :class:`~repro.experiments.scenario.ScenarioConfig` carries to switch
+  all of the above on for a run or a whole sweep.
+
+See docs/OBSERVABILITY.md for the walkthrough and CLI examples.
+"""
+
+from repro.obs.config import ObsConfig
+from repro.obs.counters import snapshot_counters
+from repro.obs.invariants import InvariantChecker, Violation
+from repro.obs.schema import (
+    DEFAULT_REGISTRY,
+    SchemaRegistry,
+    TraceSchema,
+    TraceSchemaError,
+    install_strict,
+)
+from repro.obs.sinks import JsonlSink, MemorySink, read_jsonl
+
+__all__ = [
+    "DEFAULT_REGISTRY",
+    "InvariantChecker",
+    "JsonlSink",
+    "MemorySink",
+    "ObsConfig",
+    "SchemaRegistry",
+    "TraceSchema",
+    "TraceSchemaError",
+    "Violation",
+    "install_strict",
+    "read_jsonl",
+    "snapshot_counters",
+]

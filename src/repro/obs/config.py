@@ -1,0 +1,43 @@
+"""Observability configuration carried by a scenario.
+
+:class:`ObsConfig` is a frozen, picklable knob bundle that rides on
+``ScenarioConfig.obs`` (and ``ChaosConfig.obs``) through ``replace()``
+into every replication of a sweep, so one flag at the CLI turns on
+streaming export / strict validation / bounded residency for an entire
+figure run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Per-run observability switches.
+
+    Attributes
+    ----------
+    trace_path:
+        When set, every emitted record is streamed to this JSONL file
+        (appended, tagged with the run's seed).  Runs with a trace path
+        bypass result-cache *reads* so the export is always complete.
+    strict:
+        Validate every emit against the default schema registry and
+        raise :class:`~repro.obs.schema.TraceSchemaError` on mismatch.
+    ring_capacity:
+        Bound the in-memory trace to this many resident records
+        (ring-buffer mode).  ``None`` keeps the unbounded historical
+        behaviour.
+    """
+
+    trace_path: Optional[str] = None
+    strict: bool = False
+    ring_capacity: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.ring_capacity is not None and self.ring_capacity < 1:
+            raise ValueError(
+                f"ring_capacity must be positive or None, got {self.ring_capacity!r}"
+            )

@@ -1,0 +1,60 @@
+"""Per-node counter snapshots.
+
+Every protocol component keeps cheap integer counters as it runs (the
+monitor's accusation tallies, the isolation manager's alert bookkeeping,
+the liveness manager's probe counts, the agent's filter rejects).  This
+module flattens them into one ``{node_id: {counter: value}}`` mapping that
+:meth:`~repro.experiments.scenario.Scenario.run` stores on the
+:class:`~repro.metrics.collector.MetricsReport` — so the numbers survive
+the result cache round-trip and land in figure payloads without anyone
+re-scanning the trace.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Mapping
+
+from repro.net.packet import NodeId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.agent import LiteworpAgent
+
+
+def snapshot_node(agent: "LiteworpAgent") -> Dict[str, int]:
+    """Flatten one agent's component counters into a plain dict."""
+    monitor = agent.monitor
+    isolation = agent.isolation
+    counters: Dict[str, int] = {
+        # Guard / monitor activity.
+        "fabrications_seen": monitor.fabrications_seen,
+        "drops_seen": monitor.drops_seen,
+        "suppressed_accusations": monitor.suppressed_accusations,
+        "suspended_accusations": monitor.suspended_accusations,
+        "watch_buffer_peak": monitor.watch_buffer_peak,
+        "malc_total": monitor.malc_total,
+        # Alert dissemination.
+        "alerts_sent": isolation.alerts_sent,
+        "alerts_accepted": isolation.alerts_accepted,
+        "alerts_rejected": isolation.alerts_rejected,
+        "alert_retransmits": isolation.alert_retransmits,
+        "acks_verified": isolation.acks_verified,
+        # Legitimacy-filter rejects.
+        "reject_nonneighbor": agent.rejects["nonneighbor"],
+        "reject_revoked": agent.rejects["revoked"],
+        "reject_secondhop": agent.rejects["secondhop"],
+    }
+    if agent.liveness is not None:
+        counters.update(
+            heartbeats_sent=agent.liveness.heartbeats_sent,
+            probes_sent=agent.liveness.probes_sent,
+            deaths_declared=agent.liveness.deaths_declared,
+            recoveries_seen=agent.liveness.recoveries_seen,
+        )
+    return counters
+
+
+def snapshot_counters(
+    agents: Mapping[NodeId, "LiteworpAgent"],
+) -> Dict[NodeId, Dict[str, int]]:
+    """Snapshot every agent's counters, keyed by node id."""
+    return {node_id: snapshot_node(agent) for node_id, agent in sorted(agents.items())}

@@ -1,0 +1,137 @@
+"""Streaming trace sinks.
+
+A sink is any object with a ``write(record)`` method (and optionally
+``close()``); :meth:`repro.sim.trace.TraceLog.attach_sink` forwards every
+emitted record to each attached sink *before* ring-buffer eviction, so a
+sink always observes the complete trace even when the in-memory log is
+bounded.
+
+:class:`JsonlSink` is the workhorse: one JSON object per line, opened in
+append mode with line buffering so each record is a single atomic
+``O_APPEND`` write — parallel sweep workers can safely share one file.
+Every line carries a ``run`` tag so multi-replication exports can be
+regrouped per run downstream (``repro trace check`` does exactly that).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.sim.trace import TraceRecord
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of trace field values to JSON-encodable
+    forms (tuples/sets become lists, unknown objects become repr)."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value) if isinstance(value, (set, frozenset)) else value
+        try:
+            return [_jsonable(v) for v in items]
+        except TypeError:  # unsortable set
+            return [_jsonable(v) for v in value]
+    return repr(value)
+
+
+def record_to_json(record: TraceRecord, run: Optional[Any] = None) -> str:
+    """Serialize one record to a single JSON line (no trailing newline)."""
+    payload: Dict[str, Any] = {
+        "time": record.time,
+        "kind": record.kind,
+        "fields": {k: _jsonable(v) for k, v in record.fields.items()},
+    }
+    if run is not None:
+        payload["run"] = _jsonable(run)
+    return json.dumps(payload, separators=(",", ":"), sort_keys=True)
+
+
+def record_from_json(line: str) -> TraceRecord:
+    """Parse one JSONL line back into a :class:`TraceRecord`.
+
+    The ``run`` tag, if present, is preserved as a ``__run__`` field so
+    downstream tooling can group records per run.
+    """
+    payload = json.loads(line)
+    fields = dict(payload.get("fields", {}))
+    if "run" in payload:
+        fields["__run__"] = payload["run"]
+    return TraceRecord(time=payload["time"], kind=payload["kind"], fields=fields)
+
+
+class JsonlSink:
+    """Append-only JSONL file sink, safe for concurrent writers.
+
+    The file is opened lazily on the first write with ``buffering=1``
+    (line buffered) in append mode, so every record is flushed as one
+    atomic append — multiple sweep workers may stream into the same path
+    without interleaving partial lines.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        append: bool = True,
+        run: Optional[Any] = None,
+    ) -> None:
+        self.path = Path(path)
+        self.run = run
+        self._mode = "a" if append else "w"
+        self._handle = None
+        self.records_written = 0
+
+    def write(self, record: TraceRecord) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, self._mode, buffering=1, encoding="utf-8")
+            self._mode = "a"  # reopen after close never truncates
+        self._handle.write(record_to_json(record, run=self.run) + "\n")
+        self.records_written += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class MemorySink:
+    """Sink that keeps every record in a list — the test double, and the
+    way to observe evicted records when the log runs in ring mode."""
+
+    def __init__(self) -> None:
+        self.records: List[TraceRecord] = []
+        self.closed = False
+
+    def write(self, record: TraceRecord) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        self.closed = True
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def read_jsonl(path: Union[str, Path]) -> Iterator[TraceRecord]:
+    """Stream records back from a JSONL trace export, skipping blank
+    lines.  Raises ``ValueError`` naming the offending line number on
+    malformed JSON."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield record_from_json(line)
+            except (json.JSONDecodeError, KeyError) as exc:
+                raise ValueError(f"{path}:{lineno}: malformed trace line: {exc}") from exc

@@ -5,12 +5,26 @@ rather than on return values — which node detected which attacker, when a
 route through a wormhole was established, when a packet was dropped.  The
 trace log is the single sink for those facts: protocol code emits
 ``TraceRecord``s, and consumers filter by kind.
+
+Observability extensions (see :mod:`repro.obs` and docs/OBSERVABILITY.md):
+
+- **Sinks** — :meth:`TraceLog.attach_sink` streams every record to an
+  external consumer (e.g. a JSONL file) the moment it is emitted, so the
+  full trace can leave the process without ever being resident in memory.
+- **Bounded residency** — constructing the log with a ``capacity`` turns
+  the in-memory store into a ring buffer: the newest ``capacity`` records
+  stay queryable, older ones are evicted (and counted).  Subscribers and
+  sinks always see every record regardless of eviction.
+- **Validation** — :meth:`set_validator` installs a per-record check
+  (the schema registry's strict mode) that runs before the record is
+  stored or forwarded.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Union
 
 
 @dataclass(frozen=True)
@@ -34,11 +48,29 @@ class TraceLog:
 
     Subscribers may register live callbacks per kind (the metric collectors
     do this) so that experiments do not need to re-scan the log.
+
+    Parameters
+    ----------
+    capacity:
+        ``None`` (default) keeps every record in memory — the historical
+        behaviour every test relies on.  A positive integer bounds the
+        resident store to the newest ``capacity`` records (ring-buffer
+        mode); evicted records are still delivered to subscribers and
+        sinks, and counted in :attr:`dropped_records`.
     """
 
-    def __init__(self) -> None:
-        self._records: List[TraceRecord] = []
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be positive or None, got {capacity!r}")
+        self.capacity = capacity
+        self._records: Union[List[TraceRecord], Deque[TraceRecord]] = (
+            [] if capacity is None else deque(maxlen=capacity)
+        )
         self._subscribers: Dict[str, List[Callable[[TraceRecord], None]]] = {}
+        self._sinks: List[Any] = []
+        self._validator: Optional[Callable[[TraceRecord], None]] = None
+        self.total_emitted = 0
+        self.peak_resident = 0
 
     def __len__(self) -> int:
         return len(self._records)
@@ -46,10 +78,27 @@ class TraceLog:
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self._records)
 
+    @property
+    def resident_records(self) -> int:
+        """Records currently held in memory (≤ capacity in ring mode)."""
+        return len(self._records)
+
+    @property
+    def dropped_records(self) -> int:
+        """Records evicted by the ring buffer since construction."""
+        return self.total_emitted - len(self._records)
+
     def emit(self, time: float, kind: str, **fields: Any) -> TraceRecord:
-        """Record a fact and notify subscribers for ``kind``."""
+        """Record a fact and notify validator, sinks, and subscribers."""
         record = TraceRecord(time=time, kind=kind, fields=fields)
+        if self._validator is not None:
+            self._validator(record)
         self._records.append(record)
+        self.total_emitted += 1
+        if len(self._records) > self.peak_resident:
+            self.peak_resident = len(self._records)
+        for sink in self._sinks:
+            sink.write(record)
         for callback in self._subscribers.get(kind, ()):
             callback(record)
         return record
@@ -58,12 +107,49 @@ class TraceLog:
         """Invoke ``callback`` for every future record of ``kind``."""
         self._subscribers.setdefault(kind, []).append(callback)
 
+    # ------------------------------------------------------------------
+    # Sinks and validation
+    # ------------------------------------------------------------------
+    def attach_sink(self, sink: Any) -> None:
+        """Stream every future record to ``sink`` (an object with a
+        ``write(record)`` method and, optionally, ``close()``).  Sinks see
+        records in emission order, before ring-buffer eviction."""
+        if not callable(getattr(sink, "write", None)):
+            raise TypeError(f"sink must have a write(record) method: {sink!r}")
+        self._sinks.append(sink)
+
+    def detach_sink(self, sink: Any) -> None:
+        """Stop streaming to ``sink`` (does not close it)."""
+        self._sinks.remove(sink)
+
+    @property
+    def sinks(self) -> tuple:
+        """The currently attached sinks, in attachment order."""
+        return tuple(self._sinks)
+
+    def close_sinks(self) -> None:
+        """Close and detach every attached sink (flushes file sinks)."""
+        sinks, self._sinks = self._sinks, []
+        for sink in sinks:
+            close = getattr(sink, "close", None)
+            if callable(close):
+                close()
+
+    def set_validator(self, validator: Optional[Callable[[TraceRecord], None]]) -> None:
+        """Install (or clear, with ``None``) a per-record validator invoked
+        on every emit before the record is stored.  The schema registry's
+        strict mode (:func:`repro.obs.schema.install_strict`) uses this."""
+        self._validator = validator
+
+    # ------------------------------------------------------------------
+    # Queries (over the resident window)
+    # ------------------------------------------------------------------
     def of_kind(self, kind: str) -> List[TraceRecord]:
-        """All records with the given kind, in emission order."""
+        """All resident records with the given kind, in emission order."""
         return [r for r in self._records if r.kind == kind]
 
     def first(self, kind: str, **match: Any) -> Optional[TraceRecord]:
-        """First record of ``kind`` whose fields include all of ``match``."""
+        """First resident record of ``kind`` whose fields include ``match``."""
         for record in self._records:
             if record.kind != kind:
                 continue
@@ -72,7 +158,7 @@ class TraceLog:
         return None
 
     def count(self, kind: str, **match: Any) -> int:
-        """Number of records of ``kind`` whose fields include ``match``."""
+        """Number of resident records of ``kind`` matching ``match``."""
         total = 0
         for record in self._records:
             if record.kind != kind:
@@ -82,5 +168,5 @@ class TraceLog:
         return total
 
     def clear(self) -> None:
-        """Drop all stored records (subscribers are kept)."""
+        """Drop all stored records (subscribers and sinks are kept)."""
         self._records.clear()

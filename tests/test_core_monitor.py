@@ -259,3 +259,43 @@ def test_watch_request_drops_extension():
     assert monitor.watch_buffer_size == 2
     sim.run(until=2.0)
     assert monitor.drops_seen == 2
+
+
+def test_loss_history_retained_for_full_watch_deadline():
+    """Regression: loss pruning must keep at least ``delta`` seconds of
+    history, not just ``overheard_window``.
+
+    Drop-suppression consults losses as old as the watch-buffer deadline
+    (an expectation created at T is adjudicated at T + delta against
+    ``_lost_since(T)``), so when ``delta > overheard_window`` a loss that
+    is still evidentially relevant used to be evicted by newer losses.
+    """
+    config = LiteworpConfig(overheard_window=1.0, delta=5.0)
+    sim, monitor, table, detections, _ = build(config)
+    monitor.note_reception_loss(0.0)
+    # A newer loss used to prune by overheard_window alone (cutoff 1.0),
+    # silently discarding the 2-second-old loss still inside delta.
+    monitor.note_reception_loss(2.0)
+    retained = list(monitor._recent_losses.values())
+    assert retained == [0.0, 2.0]
+    # Beyond max(overheard_window, delta) the old loss does age out.
+    monitor.note_reception_loss(6.0)
+    assert list(monitor._recent_losses.values()) == [2.0, 6.0]
+
+
+def test_loss_history_prunes_by_overheard_window_when_larger():
+    config = LiteworpConfig(overheard_window=10.0, delta=0.8)
+    sim, monitor, table, detections, _ = build(config)
+    monitor.note_reception_loss(0.0)
+    monitor.note_reception_loss(5.0)
+    assert list(monitor._recent_losses.values()) == [0.0, 5.0]
+    monitor.note_reception_loss(11.0)
+    assert list(monitor._recent_losses.values()) == [5.0, 11.0]
+
+
+def test_malc_total_counter_accumulates():
+    config = LiteworpConfig(v_fabricate=4)
+    sim, monitor, table, detections, _ = build(config)
+    monitor.observe(Frame(packet=req(rid=1), transmitter=2, prev_hop=1))
+    monitor.observe(Frame(packet=req(rid=2), transmitter=2, prev_hop=1))
+    assert monitor.malc_total == 8

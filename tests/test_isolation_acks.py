@@ -72,3 +72,56 @@ def test_retries_disabled_by_default():
     assert harness.trace.count("alert_sent") >= 1
     assert harness.trace.count("alert_retransmit") == 0
     assert harness.trace.count("alert_ack_verified") == 0  # no acks requested
+
+
+def test_redetection_does_not_duplicate_retry_timers():
+    """A second detection of the same accused restarts the backoff ladder;
+    the superseded deadline must not keep firing alongside the new one
+    (which would multiply retransmissions past the retry budget)."""
+    harness = Harness(grid_topology(columns=3, rows=3, spacing=10.0, tx_range=30.0))
+    agents = build(harness, LiteworpConfig(alert_retries=2, alert_retry_timeout=0.5))
+    guard, accused, unreachable = 0, 4, 8
+    for other in harness.topology.node_ids:
+        if other != unreachable:
+            harness.network.channel.set_link_down(unreachable, other)
+    agents[guard].isolation.handle_local_detection(accused)
+    # Re-detection while the first attempt-0 deadline is still pending.
+    harness.sim.schedule(0.2, agents[guard].isolation.handle_local_detection, accused)
+    harness.run(30.0)
+    retransmits = [
+        r for r in harness.trace.of_kind("alert_retransmit")
+        if r["recipient"] == unreachable
+    ]
+    # One ladder only: the retry budget caps attempts at alert_retries.
+    assert len(retransmits) == 2
+    assert [r["attempt"] for r in retransmits] == [1, 2]
+    abandoned = [
+        r for r in harness.trace.of_kind("alert_abandoned")
+        if r["recipient"] == unreachable
+    ]
+    assert len(abandoned) == 1
+
+
+def test_retry_stops_when_transmission_cannot_be_attempted():
+    """When a retry finds no way to even transmit (the only relay was
+    revoked), the guard reports the alert undeliverable once and stops
+    instead of burning the remaining budget on impossible sends."""
+    from repro.net.topology import Topology
+
+    # Line 0 - 1 - 2 plus side node 9 adjacent to 0, 1, and 2: the only
+    # route from guard 0 to recipient 2 that avoids the accused is via 9.
+    base = grid_topology(columns=3, rows=1, spacing=25.0, tx_range=30.0)
+    positions = dict(base.positions)
+    positions[9] = (25.0, 15.0)
+    harness = Harness(Topology(positions=positions, tx_range=30.0))
+    agents = build(harness, LiteworpConfig(alert_retries=2, alert_retry_timeout=0.5))
+    # The relayed alert never reaches 2, so no ack comes back either.
+    harness.network.channel.set_link_down(9, 2)
+    agents[0].isolation.handle_local_detection(1)
+    # Before the first retry deadline (t=0.5) the guard revokes its only
+    # viable relay, leaving no path to attempt a retransmission on.
+    harness.sim.schedule(0.3, agents[0].table.revoke, 9)
+    harness.run(20.0)
+    assert harness.trace.count("alert_retransmit", recipient=2) == 0
+    assert harness.trace.count("alert_undeliverable", recipient=2) == 1
+    assert harness.trace.count("alert_abandoned") == 0

@@ -1,0 +1,76 @@
+"""Per-node counter snapshots and their MetricsReport round-trip."""
+
+from repro.experiments.scenario import ScenarioConfig, build_scenario
+from repro.metrics.collector import MetricsReport
+from repro.obs.counters import snapshot_counters, snapshot_node
+
+
+def small_run(**overrides):
+    config = ScenarioConfig(
+        n_nodes=20, duration=60.0, seed=3, attack_start=20.0, **overrides
+    )
+    scenario = build_scenario(config)
+    return scenario, scenario.run()
+
+
+def test_report_carries_per_node_counters():
+    scenario, report = small_run()
+    assert set(report.node_counters) == set(scenario.agents)
+    some = report.node_counters[next(iter(report.node_counters))]
+    for key in (
+        "fabrications_seen", "drops_seen", "suppressed_accusations",
+        "suspended_accusations", "watch_buffer_peak", "malc_total",
+        "alerts_sent", "alerts_accepted", "alerts_rejected",
+        "alert_retransmits", "acks_verified",
+        "reject_nonneighbor", "reject_revoked", "reject_secondhop",
+    ):
+        assert key in some, key
+
+
+def test_malc_total_matches_trace_increments():
+    scenario, report = small_run()
+    for node_id, counters in report.node_counters.items():
+        emitted = sum(
+            r["value"]
+            for r in scenario.trace.of_kind("malc_increment")
+            if r["guard"] == node_id
+        )
+        assert counters["malc_total"] == emitted
+
+
+def test_counters_survive_state_round_trip():
+    _, report = small_run()
+    rebuilt = MetricsReport.from_state(report.to_state())
+    assert rebuilt == report
+    assert rebuilt.node_counters == report.node_counters
+    # Node-id keys come back as ints, not the JSON strings.
+    assert all(isinstance(k, int) for k in rebuilt.node_counters)
+
+
+def test_from_state_tolerates_pre_counter_reports():
+    """Cache entries written before node_counters existed still load."""
+    _, report = small_run()
+    state = report.to_state()
+    del state["node_counters"]
+    rebuilt = MetricsReport.from_state(state)
+    assert rebuilt.node_counters == {}
+
+
+def test_liveness_counters_appear_when_enabled():
+    from dataclasses import replace
+
+    config = ScenarioConfig(n_nodes=20, duration=60.0, seed=3, attack_start=20.0)
+    config = replace(config, liteworp=replace(config.liteworp, heartbeat_period=2.0))
+    scenario = build_scenario(config)
+    report = scenario.run()
+    some = report.node_counters[next(iter(report.node_counters))]
+    assert "heartbeats_sent" in some
+    assert some["heartbeats_sent"] >= 1
+
+
+def test_snapshot_counters_sorted_by_node():
+    scenario, _ = small_run()
+    snap = snapshot_counters(scenario.agents)
+    assert list(snap) == sorted(snap)
+    any_id = next(iter(snap))
+    assert snap[any_id] == snapshot_node(scenario.agents[any_id])

@@ -1,0 +1,166 @@
+"""Online invariant checking over the protocol trace."""
+
+from repro.obs.invariants import InvariantChecker, Violation, check_export
+from repro.sim.trace import TraceLog
+
+
+def make_checker(trace, theta=2):
+    checker = InvariantChecker(theta=theta)
+    checker.attach(trace)
+    return checker
+
+
+def emit_quorum(trace, node=9, accused=4, guards=(0, 1), start=1.0):
+    """A clean alert flow: each guard sends, the node accepts, then isolates."""
+    t = start
+    for count, guard in enumerate(guards, start=1):
+        trace.emit(t, "alert_sent", guard=guard, accused=accused, recipient=node)
+        trace.emit(
+            t + 0.1, "alert_accepted", node=node, guard=guard,
+            accused=accused, count=count,
+        )
+        t += 1.0
+    trace.emit(t, "isolation", node=node, accused=accused, alerts=len(guards))
+
+
+def test_clean_quorum_flow_has_no_violations():
+    trace = TraceLog()
+    checker = make_checker(trace, theta=2)
+    emit_quorum(trace, guards=(0, 1))
+    assert checker.violations == []
+    assert checker.records_checked == 5
+
+
+def test_isolation_before_quorum_is_flagged():
+    trace = TraceLog()
+    checker = make_checker(trace, theta=3)
+    emit_quorum(trace, guards=(0, 1))  # only 2 of the required 3
+    (violation,) = checker.violations
+    assert violation.rule == "isolation_without_quorum"
+    assert violation.category == "protocol"
+    assert "2 distinct guard" in violation.message
+
+
+def test_quorum_counts_distinct_guards_not_alerts():
+    """The same guard accepted twice must not satisfy θ=2."""
+    trace = TraceLog()
+    checker = make_checker(trace, theta=2)
+    trace.emit(1.0, "alert_sent", guard=0, accused=4, recipient=9)
+    trace.emit(1.1, "alert_accepted", node=9, guard=0, accused=4, count=1)
+    trace.emit(1.2, "alert_accepted", node=9, guard=0, accused=4, count=2)
+    trace.emit(2.0, "isolation", node=9, accused=4, alerts=2)
+    (violation,) = checker.violations
+    assert violation.rule == "isolation_without_quorum"
+
+
+def test_malc_increment_after_own_revocation_is_flagged():
+    trace = TraceLog()
+    checker = make_checker(trace)
+    trace.emit(1.0, "guard_detection", guard=0, accused=4)
+    trace.emit(
+        2.0, "malc_increment", guard=0, accused=4, value=2,
+        reason="drop", packet=("REQ", 9, 1), total=12,
+    )
+    (violation,) = checker.violations
+    assert violation.rule == "malc_after_revocation"
+    assert violation.category == "protocol"
+
+
+def test_malc_by_other_guards_after_one_revocation_is_fine():
+    """Revocation is per-observer: other guards may keep accusing."""
+    trace = TraceLog()
+    checker = make_checker(trace)
+    trace.emit(1.0, "guard_detection", guard=0, accused=4)
+    trace.emit(
+        2.0, "malc_increment", guard=1, accused=4, value=2,
+        reason="drop", packet=("REQ", 9, 1), total=2,
+    )
+    assert checker.violations == []
+
+
+def test_ack_without_matching_send_is_flagged():
+    trace = TraceLog()
+    checker = make_checker(trace)
+    trace.emit(1.0, "alert_ack_verified", guard=0, accused=4, recipient=2)
+    (violation,) = checker.violations
+    assert violation.rule == "ack_without_send"
+
+
+def test_retransmit_without_send_is_flagged():
+    trace = TraceLog()
+    checker = make_checker(trace)
+    trace.emit(1.0, "alert_retransmit", guard=0, accused=4, recipient=2, attempt=1)
+    (violation,) = checker.violations
+    assert violation.rule == "retransmit_without_send"
+
+
+def test_matched_ack_and_retransmit_are_clean():
+    trace = TraceLog()
+    checker = make_checker(trace)
+    trace.emit(1.0, "alert_sent", guard=0, accused=4, recipient=2)
+    trace.emit(1.5, "alert_retransmit", guard=0, accused=4, recipient=2, attempt=1)
+    trace.emit(2.0, "alert_ack_verified", guard=0, accused=4, recipient=2)
+    assert checker.violations == []
+
+
+def test_attack_evidence_is_deduplicated_per_node():
+    trace = TraceLog()
+    checker = make_checker(trace)
+    for i in range(5):
+        trace.emit(float(i), "malicious_drop", node=7, packet=("DATA", 1, i))
+        trace.emit(float(i), "wormhole_activity", node=7)
+    trace.emit(9.0, "malicious_drop", node=8, packet=("DATA", 1, 99))
+    rules = sorted((v.rule, v.details["node"]) for v in checker.attack_violations)
+    assert rules == [
+        ("malicious_drop", 7),
+        ("malicious_drop", 8),
+        ("wormhole_activity", 7),
+    ]
+    assert checker.protocol_violations == []
+
+
+def test_category_partition():
+    trace = TraceLog()
+    checker = make_checker(trace, theta=2)
+    trace.emit(0.0, "wormhole_activity", node=7)
+    trace.emit(1.0, "isolation", node=9, accused=7, alerts=0)
+    assert {v.category for v in checker.violations} == {"attack", "protocol"}
+    assert len(checker.attack_violations) == 1
+    assert len(checker.protocol_violations) == 1
+
+
+def test_irrelevant_kinds_are_ignored():
+    trace = TraceLog()
+    checker = make_checker(trace)
+    trace.emit(0.0, "data_origin", packet=("DATA", 1, 1), origin=1, destination=2)
+    assert checker.records_checked == 0
+
+
+def test_check_export_groups_by_run_tag():
+    """Causal state must not leak across runs sharing one export file."""
+    trace = TraceLog()
+    records = []
+    trace.attach_sink(type("L", (), {"write": lambda self, r: records.append(r)})())
+    # Run A sends the alert...
+    trace.emit(1.0, "alert_sent", guard=0, accused=4, recipient=2)
+    # ...run B verifies an ack it never sent.
+    trace.emit(2.0, "alert_ack_verified", guard=0, accused=4, recipient=2)
+    tagged = []
+    for record, run in zip(records, ("a", "b")):
+        tagged.append(
+            type(record)(record.time, record.kind, {**record.fields, "__run__": run})
+        )
+    violations, runs = check_export(tagged, theta=2)
+    assert runs == 2
+    (violation,) = violations
+    assert violation.rule == "ack_without_send"
+    assert violation.details["__run__"] == "b"
+    # Merged into one run the same stream is clean.
+    merged, runs_merged = check_export(records, theta=2)
+    assert runs_merged == 1
+    assert merged == []
+
+
+def test_violation_is_a_value_object():
+    v = Violation(rule="r", category="protocol", time=1.0, message="m")
+    assert v.details == {}
