@@ -10,5 +10,6 @@ from repro.bench.micro import (  # noqa: F401
     bench_channel,
     bench_engine,
     bench_sweep,
+    bench_trace,
     run_benchmarks,
 )

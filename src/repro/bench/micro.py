@@ -1,6 +1,6 @@
 """Microbenchmarks over the simulator's hot paths.
 
-Three benchmarks, each a pure function returning a :class:`BenchResult`
+Four benchmarks, each a pure function returning a :class:`BenchResult`
 that serialises to a ``BENCH_<name>.json`` trajectory file:
 
 - ``engine`` — raw event dispatch throughput of the discrete-event
@@ -11,7 +11,12 @@ that serialises to a ``BENCH_<name>.json`` trajectory file:
   30 replications per point, run serial-cold, parallel-cold, and
   cache-warm.  Verifies the three produce byte-identical reports and
   records the wall-clock speedups (the acceptance trajectory for the
-  parallel runner and the result cache).
+  parallel runner and the result cache).  Runs under a
+  :class:`~repro.obs.spans.SpanProfiler`, so its JSON also carries the
+  harness stage timings (build / run / collect / cache / fan-out).
+- ``trace`` — per-record ``TraceLog.emit`` cost with no sink attached,
+  a :class:`MemorySink`, a :class:`JsonlSink`, and in bounded ring
+  mode — the observability tax on the simulator's hottest call.
 
 Timing numbers are environment-dependent by nature; correctness flags
 (``byte_identical``) are not.  CI runs the suite in quick mode and only
@@ -44,14 +49,18 @@ class BenchResult:
     params: Dict[str, object]
     samples: List[Dict[str, object]] = field(default_factory=list)
     metrics: Dict[str, object] = field(default_factory=dict)
+    spans: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "name": self.name,
             "params": self.params,
             "samples": self.samples,
             "metrics": self.metrics,
         }
+        if self.spans:
+            payload["spans"] = self.spans
+        return payload
 
     def write(self, output_dir: Union[str, pathlib.Path]) -> pathlib.Path:
         """Persist as ``BENCH_<name>.json`` under ``output_dir``."""
@@ -210,52 +219,56 @@ def bench_sweep(
     """
     import tempfile
 
+    from repro.obs.spans import SpanProfiler, activate
+
     runs = runs if runs is not None else (3 if quick else 30)
     jobs = jobs if jobs is not None else 2
     configs = _sweep_configs(quick, runs)
+    profiler = SpanProfiler()
 
     samples: List[Dict[str, object]] = []
-    serial_runner = SweepRunner()
-    serial_reports = []
-    serial_started = time.perf_counter()
-    for index, config in enumerate(configs):
-        run_started = time.perf_counter()
-        serial_reports.append(serial_runner.run_one(config))
-        samples.append(
-            {
-                "phase": "serial",
-                "index": index,
-                "n_nodes": config.n_nodes,
-                "seed": config.seed,
-                "seconds": time.perf_counter() - run_started,
-            }
-        )
-    serial_seconds = time.perf_counter() - serial_started
+    with activate(profiler):
+        serial_runner = SweepRunner()
+        serial_reports = []
+        serial_started = time.perf_counter()
+        for index, config in enumerate(configs):
+            run_started = time.perf_counter()
+            serial_reports.append(serial_runner.run_one(config))
+            samples.append(
+                {
+                    "phase": "serial",
+                    "index": index,
+                    "n_nodes": config.n_nodes,
+                    "seed": config.seed,
+                    "seconds": time.perf_counter() - run_started,
+                }
+            )
+        serial_seconds = time.perf_counter() - serial_started
 
-    parallel_started = time.perf_counter()
-    parallel_reports = SweepRunner(jobs=jobs).run_many(configs)
-    parallel_seconds = time.perf_counter() - parallel_started
-    samples.append({"phase": "parallel", "jobs": jobs, "seconds": parallel_seconds})
+        parallel_started = time.perf_counter()
+        parallel_reports = SweepRunner(jobs=jobs).run_many(configs)
+        parallel_seconds = time.perf_counter() - parallel_started
+        samples.append({"phase": "parallel", "jobs": jobs, "seconds": parallel_seconds})
 
-    own_temp = None
-    if cache_root is None:
-        own_temp = tempfile.TemporaryDirectory(prefix="repro-bench-cache-")
-        cache_root = own_temp.name
-    try:
-        populate = ResultCache(cache_root)
-        for config, report in zip(configs, serial_reports):
-            populate.put(config, report)
-        warm_runner = SweepRunner(cache=ResultCache(cache_root))
-        warm_started = time.perf_counter()
-        warm_reports = warm_runner.run_many(configs)
-        warm_seconds = time.perf_counter() - warm_started
-        samples.append(
-            {"phase": "warm", "cache_hits": warm_runner.cache_hits,
-             "seconds": warm_seconds}
-        )
-    finally:
-        if own_temp is not None:
-            own_temp.cleanup()
+        own_temp = None
+        if cache_root is None:
+            own_temp = tempfile.TemporaryDirectory(prefix="repro-bench-cache-")
+            cache_root = own_temp.name
+        try:
+            populate = ResultCache(cache_root)
+            for config, report in zip(configs, serial_reports):
+                populate.put(config, report)
+            warm_runner = SweepRunner(cache=ResultCache(cache_root))
+            warm_started = time.perf_counter()
+            warm_reports = warm_runner.run_many(configs)
+            warm_seconds = time.perf_counter() - warm_started
+            samples.append(
+                {"phase": "warm", "cache_hits": warm_runner.cache_hits,
+                 "seconds": warm_seconds}
+            )
+        finally:
+            if own_temp is not None:
+                own_temp.cleanup()
 
     canonical = [json.dumps(r.to_state(), sort_keys=True) for r in serial_reports]
     byte_identical = (
@@ -280,6 +293,100 @@ def bench_sweep(
             "speedup_cached": serial_seconds / warm_seconds,
             "byte_identical": byte_identical,
         },
+        spans=profiler.flat(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Trace: per-record emit overhead across sink configurations
+# ----------------------------------------------------------------------
+def bench_trace(quick: bool = True) -> BenchResult:
+    """Nanoseconds per ``TraceLog.emit`` with each sink configuration.
+
+    The emit call sits on the simulator's hottest paths (every frame,
+    every monitor event), so the observability subsystem's whole cost
+    story reduces to this number.  Four configurations:
+
+    - ``no_sink`` — the baseline everyone pays: append to the resident
+      list only;
+    - ``memory_sink`` — plus one in-process subscriber-style sink;
+    - ``jsonl_sink`` — plus JSON serialisation and a line-buffered file
+      append (the export path);
+    - ``ring`` — bounded residency (``capacity=512``), the long-run
+      memory-safety mode.
+
+    Overhead ratios are best-round times relative to ``no_sink``.
+    """
+    import tempfile
+
+    from repro.obs.sinks import JsonlSink, MemorySink
+    from repro.sim.trace import TraceLog
+
+    emits = 20_000 if quick else 200_000
+    rounds = 3
+
+    def run_config(label: str, make: Callable[[pathlib.Path], TraceLog]) -> float:
+        """Best-of-rounds seconds for one configuration; records samples."""
+        best = None
+        for round_index in range(rounds):
+            with tempfile.TemporaryDirectory(prefix="repro-bench-trace-") as temp:
+                trace = make(pathlib.Path(temp))
+                started = time.perf_counter()
+                for index in range(emits):
+                    trace.emit(
+                        float(index), "malicious_drop", node=7, packet=index
+                    )
+                elapsed = time.perf_counter() - started
+                trace.close_sinks()
+            samples.append(
+                {
+                    "config": label,
+                    "round": round_index,
+                    "emits": emits,
+                    "seconds": elapsed,
+                    "ns_per_emit": 1e9 * elapsed / emits,
+                }
+            )
+            if best is None or elapsed < best:
+                best = elapsed
+        return best if best is not None else 0.0
+
+    samples: List[Dict[str, object]] = []
+
+    def plain(_temp: pathlib.Path) -> TraceLog:
+        return TraceLog()
+
+    def with_memory(_temp: pathlib.Path) -> TraceLog:
+        trace = TraceLog()
+        trace.attach_sink(MemorySink())
+        return trace
+
+    def with_jsonl(temp: pathlib.Path) -> TraceLog:
+        trace = TraceLog()
+        trace.attach_sink(JsonlSink(temp / "trace.jsonl"))
+        return trace
+
+    def with_ring(_temp: pathlib.Path) -> TraceLog:
+        return TraceLog(capacity=512)
+
+    timings = {
+        "no_sink": run_config("no_sink", plain),
+        "memory_sink": run_config("memory_sink", with_memory),
+        "jsonl_sink": run_config("jsonl_sink", with_jsonl),
+        "ring": run_config("ring", with_ring),
+    }
+    base = timings["no_sink"]
+    metrics: Dict[str, object] = {
+        f"{label}_ns_per_emit": 1e9 * seconds / emits
+        for label, seconds in timings.items()
+    }
+    for label in ("memory_sink", "jsonl_sink", "ring"):
+        metrics[f"{label}_overhead"] = timings[label] / base if base else 0.0
+    return BenchResult(
+        name="trace",
+        params={"emits": emits, "rounds": rounds, "quick": quick},
+        samples=samples,
+        metrics=metrics,
     )
 
 
@@ -287,6 +394,7 @@ BENCHMARKS: Dict[str, Callable[..., BenchResult]] = {
     "engine": bench_engine,
     "channel": bench_channel,
     "sweep": bench_sweep,
+    "trace": bench_trace,
 }
 
 

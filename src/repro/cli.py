@@ -15,6 +15,11 @@ Commands
 - ``trace`` — observability tooling: ``export`` streams one run's trace
   to JSONL, ``stats`` summarises an export, ``check`` validates it
   against the schema registry and the protocol invariants.
+- ``report`` — one markdown + JSON run report (summary metrics, node
+  counters, detection-latency decomposition, time series, invariant
+  verdict) from an existing JSONL export, or — with ``--live`` — from a
+  fresh run consumed through a live trace subscription.  Both paths
+  produce byte-identical JSON for the same run.
 
 The figure and chaos commands accept ``--trace-out`` / ``--trace-strict``
 / ``--trace-ring`` to stream their traces while they run (``--trace-out``
@@ -120,7 +125,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--jobs", type=int, default=0, metavar="N",
                          help="worker processes for the sweep benchmark")
     bench_p.add_argument("--only", action="append", default=None, metavar="NAME",
-                         help="run one benchmark (repeatable): engine, channel, sweep")
+                         help="run one benchmark (repeatable): engine, channel, "
+                              "sweep, trace")
     bench_p.add_argument("--output-dir", default="benchmarks/output",
                          help="where BENCH_*.json files land (default benchmarks/output)")
 
@@ -177,6 +183,35 @@ def build_parser() -> argparse.ArgumentParser:
     check_p.add_argument("--fail-on-attack", action="store_true",
                          help="exit nonzero on attack evidence too, not just "
                               "schema errors / protocol violations")
+
+    report_p = sub.add_parser(
+        "report", help="render a markdown + JSON run report from a trace"
+    )
+    report_p.add_argument("file", nargs="?", default=None,
+                          help="JSONL trace export to report on (omit with --live)")
+    report_p.add_argument("--live", action="store_true",
+                          help="run a scenario and report on its live trace "
+                               "instead of reading an export")
+    report_p.add_argument("--nodes", type=int, default=50)
+    report_p.add_argument("--duration", type=float, default=240.0)
+    report_p.add_argument("--seed", type=int, default=1)
+    report_p.add_argument("--attack", choices=ATTACK_MODES, default="outofband")
+    report_p.add_argument("--malicious", type=int, default=2)
+    report_p.add_argument("--attack-start", type=float, default=40.0)
+    report_p.add_argument("--defense", choices=DEFENSES, default="liteworp")
+    report_p.add_argument("--theta", type=int, default=3,
+                          help="alert quorum the analysis assumes (default 3)")
+    report_p.add_argument("--step", type=float, default=None, metavar="SECONDS",
+                          help="time-series resampling step "
+                               "(default: horizon / 50)")
+    report_p.add_argument("--out", default=None, metavar="FILE",
+                          help="with --live: also export the trace to this "
+                               "JSONL file while reporting")
+    report_p.add_argument("--json", dest="json_path", default=None,
+                          help="write the JSON payload to this path")
+    report_p.add_argument("--md", dest="md_path", default=None,
+                          help="write the markdown report to this path "
+                               "(default: print to stdout)")
 
     sub.add_parser("fig6", help="analytical coverage curves (6a and 6b)")
     sub.add_parser("cost", help="section 5.2 cost table")
@@ -336,16 +371,47 @@ def _trace_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_export(path_str: str) -> Optional[list]:
+    """All records from a JSONL export, or None after printing a one-line
+    error (missing file, empty file, mid-file corruption).
+
+    A truncated *final* line — a sweep worker killed mid-append — is
+    tolerated with a warning rather than failing the whole read.
+    """
+    import pathlib
+
+    from repro.obs.sinks import ReadStats, read_jsonl
+
+    path = pathlib.Path(path_str)
+    if not path.is_file():
+        print(f"error: trace export not found: {path}", file=sys.stderr)
+        return None
+    stats = ReadStats()
+    try:
+        records = list(read_jsonl(path, tolerate_partial=True, stats=stats))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+    if stats.partial_lines:
+        print(f"warning: skipped {stats.partial_lines} partial trailing "
+              f"line in {path} (truncated export)", file=sys.stderr)
+    if not records:
+        print(f"error: trace export is empty: {path}", file=sys.stderr)
+        return None
+    return records
+
+
 def _trace_stats(args: argparse.Namespace) -> int:
     from collections import Counter
 
-    from repro.obs.sinks import read_jsonl
-
+    records = _read_export(args.file)
+    if records is None:
+        return 1
     kinds: "Counter[str]" = Counter()
     runs = set()
     total = 0
     first_time = last_time = None
-    for record in read_jsonl(args.file):
+    for record in records:
         total += 1
         kinds[record.kind] += 1
         run = record.fields.get("__run__")
@@ -383,17 +449,17 @@ def _trace_stats(args: argparse.Namespace) -> int:
 def _trace_check(args: argparse.Namespace) -> int:
     from repro.obs.invariants import check_export
     from repro.obs.schema import DEFAULT_REGISTRY
-    from repro.obs.sinks import read_jsonl
 
+    records = _read_export(args.file)
+    if records is None:
+        return 1
     schema_errors = 0
-    records = []
-    for record in read_jsonl(args.file):
+    for record in records:
         fields = {k: v for k, v in record.fields.items() if k != "__run__"}
         probe = type(record)(time=record.time, kind=record.kind, fields=fields)
         for problem in DEFAULT_REGISTRY.errors(probe):
             schema_errors += 1
             print(f"schema: t={record.time:.3f} {problem}")
-        records.append(record)
     violations, runs = check_export(records, theta=args.theta)
     protocol = [v for v in violations if v.category == "protocol"]
     attack = [v for v in violations if v.category == "attack"]
@@ -407,6 +473,63 @@ def _trace_check(args: argparse.Namespace) -> int:
         return 1
     if args.fail_on_attack and attack:
         return 1
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.obs.report import ReportBuilder, build_report
+
+    if args.live and args.file:
+        print("error: pass either a trace export or --live, not both",
+              file=sys.stderr)
+        return 1
+    if not args.live and not args.file:
+        print("error: need a trace export to report on (or --live to run one)",
+              file=sys.stderr)
+        return 1
+    if args.live:
+        config = ScenarioConfig(
+            n_nodes=args.nodes,
+            duration=args.duration,
+            seed=args.seed,
+            attack_mode=args.attack,
+            n_malicious=args.malicious if args.attack != "none" else 0,
+            attack_start=args.attack_start,
+            defense=args.defense,
+        )
+        if args.out is not None:
+            import dataclasses
+
+            from repro.obs.config import ObsConfig
+
+            config = dataclasses.replace(config, obs=ObsConfig(trace_path=args.out))
+        scenario = build_scenario(config)
+        builder = ReportBuilder(theta=args.theta, step=args.step)
+        builder.attach(scenario.trace)
+        scenario.run()
+        report = builder.report()
+    else:
+        records = _read_export(args.file)
+        if records is None:
+            return 1
+        report = build_report(records, theta=args.theta, step=args.step)
+    markdown = report.to_markdown()
+    # Status notices go to stderr: stdout may *be* the markdown report,
+    # and piping it into a file must not capture bookkeeping lines.
+    if args.md_path:
+        path = pathlib.Path(args.md_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(markdown)
+        print(f"markdown report written to {path}", file=sys.stderr)
+    else:
+        print(markdown, end="")
+    if args.json_path:
+        path = pathlib.Path(args.json_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(report.to_json())
+        print(f"JSON payload written to {path}", file=sys.stderr)
     return 0
 
 
@@ -441,6 +564,7 @@ _COMMANDS = {
     "fig10": _cmd_fig10,
     "chaos": _cmd_chaos,
     "trace": _cmd_trace,
+    "report": _cmd_report,
     "fig6": _cmd_fig6,
     "cost": _cmd_cost,
     "taxonomy": _cmd_taxonomy,

@@ -52,6 +52,12 @@ from repro.sim.trace import TraceLog
 PacketKey = Tuple[Any, ...]
 WatchKey = Tuple[PacketKey, NodeId]
 
+#: Minimum simulated seconds between two ``watch_buffer`` gauge records
+#: from one guard.  The watch buffer churns on every overheard frame, so
+#: the occupancy series is throttled to keep trace volume (and the emit
+#: hot path) unaffected; 1 Hz per guard is plenty for occupancy curves.
+WATCH_SAMPLE_PERIOD = 1.0
+
 
 class LocalMonitor:
     """The per-node guard: overheard store, watch buffer, MalC updates."""
@@ -85,6 +91,9 @@ class LocalMonitor:
         self.suspended_accusations = 0
         self.watch_buffer_peak = 0
         self.malc_total = 0
+        # Sampled occupancy gauge (see _note_watch_size).
+        self._watch_sampled_at: Optional[float] = None
+        self._watch_sampled_size = 0
         # Liveness refinement: when set, accusations against nodes the
         # predicate reports as not-alive are suspended (a crashed neighbor
         # is not a malicious dropper).
@@ -106,6 +115,8 @@ class LocalMonitor:
         for key in stale:
             event = self._expectations.pop(key)
             event.cancel()
+        if stale:
+            self._note_watch_size()
 
     def reset(self) -> None:
         """Drop all volatile monitoring state (crash support): pending
@@ -117,6 +128,7 @@ class LocalMonitor:
         self._expectations.clear()
         self._overheard.clear()
         self._recent_losses.clear()
+        self._note_watch_size()
 
     # ------------------------------------------------------------------
     # Collision awareness
@@ -168,6 +180,7 @@ class LocalMonitor:
                 )
                 if pending is not None:
                     pending.cancel()
+                    self._note_watch_size()
             return
         if isinstance(packet, DataPacket):
             watched = self.config.watch_data
@@ -185,6 +198,7 @@ class LocalMonitor:
             pending = self._expectations.pop((key, transmitter), None)
             if pending is not None:
                 pending.cancel()
+                self._note_watch_size()
 
         if not own:
             self._check_fabrication(frame, key, transmitter)
@@ -278,10 +292,12 @@ class LocalMonitor:
         self._expectations[watch_key] = event
         if len(self._expectations) > self.watch_buffer_peak:
             self.watch_buffer_peak = len(self._expectations)
+        self._note_watch_size()
 
     def _expectation_expired(self, watch_key: WatchKey, created_at: float) -> None:
         if self._expectations.pop(watch_key, None) is None:
             return
+        self._note_watch_size()
         key, watched = watch_key
         if self._lost_since(created_at):
             # The forward may have happened and been lost on us.
@@ -294,6 +310,31 @@ class LocalMonitor:
     def watch_buffer_size(self) -> int:
         """Current number of pending watch-buffer entries."""
         return len(self._expectations)
+
+    def _note_watch_size(self) -> None:
+        """Emit a throttled ``watch_buffer`` occupancy gauge record.
+
+        Called after every size change; emits at most once per
+        :data:`WATCH_SAMPLE_PERIOD` simulated seconds per guard, and only
+        when the size actually differs from the last emitted sample —
+        the time-series recorder (repro.obs.series) rebuilds the
+        occupancy curve from these gauges.
+        """
+        size = len(self._expectations)
+        if size == self._watch_sampled_size:
+            return
+        now = self.sim.now
+        if (
+            self._watch_sampled_at is not None
+            and now - self._watch_sampled_at < WATCH_SAMPLE_PERIOD
+        ):
+            return
+        self._watch_sampled_at = now
+        self._watch_sampled_size = size
+        self.trace.emit(
+            now, "watch_buffer",
+            guard=self.owner, size=size, peak=self.watch_buffer_peak,
+        )
 
     # ------------------------------------------------------------------
     # MalC and detection

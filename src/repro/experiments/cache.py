@@ -33,10 +33,13 @@ import tempfile
 from typing import Any, Dict, Optional, Union
 
 from repro.metrics.collector import MetricsReport
+from repro.obs.spans import span
 
 #: Bump when the on-disk entry format (not the simulator) changes shape.
 #: 2: MetricsReport grew per-node protocol counters (node_counters).
-CACHE_SCHEMA_VERSION = 2
+#: 3: MetricsReport grew causal latency stages (latency_stages); version-2
+#:    entries still load (the field defaults to empty on read).
+CACHE_SCHEMA_VERSION = 3
 
 
 # ----------------------------------------------------------------------
@@ -130,39 +133,41 @@ class ResultCache:
         """The cached report for ``config``, or None.  Corrupt or
         foreign-format entries count as misses (and are left in place for
         post-mortems rather than deleted)."""
-        path = self.path_for(config)
-        try:
-            payload = json.loads(path.read_text())
-            report = MetricsReport.from_state(payload["report"])
-        except (OSError, ValueError, KeyError, TypeError):
-            self.misses += 1
-            return None
-        self.hits += 1
-        return report
+        with span("cache.lookup"):
+            path = self.path_for(config)
+            try:
+                payload = json.loads(path.read_text())
+                report = MetricsReport.from_state(payload["report"])
+            except (OSError, ValueError, KeyError, TypeError):
+                self.misses += 1
+                return None
+            self.hits += 1
+            return report
 
     def put(self, config: Any, report: MetricsReport) -> pathlib.Path:
         """Store ``report`` under ``config``'s digest (atomic rename, so a
         parallel worker crashing mid-write never leaves a torn entry)."""
-        path = self.path_for(config)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "schema": CACHE_SCHEMA_VERSION,
-            "config": repr(config),
-            "report": report.to_state(),
-        }
-        text = json.dumps(payload, sort_keys=True, indent=1) + "\n"
-        fd, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(text)
-            os.replace(temp_name, path)
-        except BaseException:
+        with span("cache.store"):
+            path = self.path_for(config)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            payload = {
+                "schema": CACHE_SCHEMA_VERSION,
+                "config": repr(config),
+                "report": report.to_state(),
+            }
+            text = json.dumps(payload, sort_keys=True, indent=1) + "\n"
+            fd, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
-        return path
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(text)
+                os.replace(temp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
+            return path
 
     def stats(self) -> Dict[str, int]:
         """Hit/miss counters since construction."""

@@ -36,6 +36,7 @@ from repro.metrics.collector import MetricsReport
 from repro.metrics.robustness import RobustnessCollector, RobustnessReport
 from repro.net.packet import NodeId
 from repro.obs.config import ObsConfig
+from repro.obs.spans import span
 from repro.routing.config import RoutingConfig
 from repro.traffic.generator import TrafficConfig
 
@@ -204,28 +205,29 @@ def make_chaos_plan(config: ChaosConfig) -> FaultPlan:
     pool via the scenario's own RNG registry, so the plan is a pure
     function of the config.
     """
-    scenario = build_scenario(config.scenario_config())
-    pool = guard_pool(scenario)
-    rng = scenario.rng.stream("chaos")
-    count = min(len(pool), max(1, round(config.crash_fraction * len(pool))))
-    targets = sorted(rng.sample(pool, count)) if count else []
-    recovering = round(config.recover_fraction * len(targets))
-    faults: List[Fault] = []
-    for index, node in enumerate(targets):
-        at = config.crash_at + index * config.crash_spacing
-        if index < recovering:
-            faults.append(CrashRecover(at=at, node=node, downtime=config.downtime))
-        else:
-            faults.append(CrashStop(at=at, node=node))
-    if config.loss_probability > 0.0:
-        faults.append(
-            LossBurst(
-                at=config.loss_at,
-                probability=config.loss_probability,
-                duration=config.loss_duration,
+    with span("chaos.plan"):
+        scenario = build_scenario(config.scenario_config())
+        pool = guard_pool(scenario)
+        rng = scenario.rng.stream("chaos")
+        count = min(len(pool), max(1, round(config.crash_fraction * len(pool))))
+        targets = sorted(rng.sample(pool, count)) if count else []
+        recovering = round(config.recover_fraction * len(targets))
+        faults: List[Fault] = []
+        for index, node in enumerate(targets):
+            at = config.crash_at + index * config.crash_spacing
+            if index < recovering:
+                faults.append(CrashRecover(at=at, node=node, downtime=config.downtime))
+            else:
+                faults.append(CrashStop(at=at, node=node))
+        if config.loss_probability > 0.0:
+            faults.append(
+                LossBurst(
+                    at=config.loss_at,
+                    probability=config.loss_probability,
+                    duration=config.loss_duration,
+                )
             )
-        )
-    return FaultPlan(faults=tuple(faults))
+        return FaultPlan(faults=tuple(faults))
 
 
 def run_chaos_sweep(configs, jobs=None):

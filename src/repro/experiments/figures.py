@@ -20,6 +20,7 @@ from repro.experiments.runner import SweepRunner, replication_configs
 from repro.experiments.scenario import ScenarioConfig
 from repro.metrics.collector import MetricsReport
 from repro.obs.config import ObsConfig
+from repro.obs.spans import span
 
 
 def _mean(values: Sequence[float]) -> float:
@@ -44,7 +45,8 @@ def _sweep_reports(
     flat: List[ScenarioConfig] = []
     for config in point_configs.values():
         flat.extend(replication_configs(config, runs))
-    reports = SweepRunner(jobs=jobs, cache=cache).run_many(flat)
+    with span("figure.sweep"):
+        reports = SweepRunner(jobs=jobs, cache=cache).run_many(flat)
     grouped: Dict[Hashable, List[MetricsReport]] = {}
     for offset, key in enumerate(point_configs):
         grouped[key] = reports[offset * runs:(offset + 1) * runs]

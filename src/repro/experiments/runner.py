@@ -33,6 +33,7 @@ from repro.experiments.cache import ResultCache
 from repro.experiments.scenario import ScenarioConfig, run_scenario
 from repro.experiments.seeds import child_seed
 from repro.metrics.collector import MetricsReport
+from repro.obs.spans import span
 
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
@@ -128,7 +129,8 @@ class SweepRunner:
 
         if miss_indices:
             missed_configs = [configs[i] for i in miss_indices]
-            reports = parallel_map(_run_config, missed_configs, jobs=self.jobs)
+            with span("sweep.fanout"):
+                reports = parallel_map(_run_config, missed_configs, jobs=self.jobs)
             self.computed += len(reports)
             for position, report in zip(miss_indices, reports):
                 results[position] = report

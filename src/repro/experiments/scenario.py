@@ -29,6 +29,7 @@ from repro.faults.plan import FaultPlan
 from repro.metrics.collector import MetricsCollector, MetricsReport
 from repro.net.network import Network, NetworkConfig
 from repro.obs.config import ObsConfig
+from repro.obs.spans import span
 from repro.net.packet import NodeId
 from repro.net.topology import Topology, choose_separated_nodes, generate_connected_topology
 from repro.routing.config import RoutingConfig
@@ -166,21 +167,28 @@ class Scenario:
         """Execute to the configured horizon and return the metrics."""
         from repro.obs.counters import snapshot_counters
 
-        self.traffic.start()
-        try:
-            self.sim.run(until=self.config.duration)
-        finally:
-            # Flush streamed trace exports even when a strict-mode schema
-            # violation (or any other error) aborts the run mid-flight.
-            self.trace.close_sinks()
-        return self.metrics.report(
-            duration=self.config.duration,
-            node_counters=snapshot_counters(self.agents),
-        )
+        with span("scenario.run"):
+            self.traffic.start()
+            try:
+                self.sim.run(until=self.config.duration)
+            finally:
+                # Flush streamed trace exports even when a strict-mode schema
+                # violation (or any other error) aborts the run mid-flight.
+                self.trace.close_sinks()
+        with span("metrics.collect"):
+            return self.metrics.report(
+                duration=self.config.duration,
+                node_counters=snapshot_counters(self.agents),
+            )
 
 
 def build_scenario(config: ScenarioConfig) -> Scenario:
     """Assemble a deployment per ``config`` (deterministic given the seed)."""
+    with span("scenario.build"):
+        return _build_scenario(config)
+
+
+def _build_scenario(config: ScenarioConfig) -> Scenario:
     rng = RngRegistry(seed=config.seed)
     sim = Simulator()
     trace = _build_trace(config)

@@ -47,6 +47,13 @@ class MetricsReport:
     # MalC totals, watch-buffer peaks, alert send/accept/reject/retransmit
     # tallies, filter rejects, liveness activity.
     node_counters: Dict[NodeId, Dict[str, int]] = field(default_factory=dict)
+    # Causal latency stage timestamps per malicious node (see
+    # repro.obs.latency): attack_start, first_malc, local_revocation,
+    # quorum, full_isolation — only the stages the run actually reached.
+    # full_isolation here is the ground-truth complete-neighborhood time
+    # (== isolation_times), unlike the trace-level proxy the decomposer
+    # computes.
+    latency_stages: Dict[NodeId, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def undelivered(self) -> int:
@@ -82,6 +89,41 @@ class MetricsReport:
         if done is None or started is None:
             return None
         return max(0.0, done - started)
+
+    def detection_latency(self, node: NodeId) -> Optional[float]:
+        """Seconds from first malicious act to the first guard's local
+        revocation (MalC crossing C_t), or None if never detected."""
+        stages = self.latency_stages.get(node)
+        if not stages:
+            return None
+        started = stages.get("attack_start")
+        detected = stages.get("local_revocation")
+        if started is None or detected is None:
+            return None
+        return max(0.0, detected - started)
+
+    def mean_detection_latency(self) -> Optional[float]:
+        """Average detection latency over detected malicious nodes."""
+        latencies = [
+            latency
+            for node in self.latency_stages
+            if (latency := self.detection_latency(node)) is not None
+        ]
+        if not latencies:
+            return None
+        return sum(latencies) / len(latencies)
+
+    def latency_decomposition(self, node: NodeId) -> Dict[str, Optional[float]]:
+        """Per-stage durations for ``node`` (see repro.obs.latency
+        DURATIONS); stages the run never reached map to None."""
+        from repro.obs.latency import DURATIONS
+
+        stages = self.latency_stages.get(node, {})
+        out: Dict[str, Optional[float]] = {}
+        for name, start, end in DURATIONS:
+            t0, t1 = stages.get(start), stages.get(end)
+            out[name] = max(0.0, t1 - t0) if t0 is not None and t1 is not None else None
+        return out
 
     def mean_isolation_latency(self) -> Optional[float]:
         """Average isolation latency over fully isolated malicious nodes."""
@@ -126,6 +168,9 @@ class MetricsReport:
             "node_counters": {
                 str(k): dict(v) for k, v in self.node_counters.items()
             },
+            "latency_stages": {
+                str(k): dict(v) for k, v in self.latency_stages.items()
+            },
         }
 
     @classmethod
@@ -150,6 +195,12 @@ class MetricsReport:
                 int(k): dict(v)
                 for k, v in state.get("node_counters", {}).items()  # type: ignore[union-attr]
             },
+            # .get: schema-version-2 entries (pre-latency-decomposition)
+            # lack this field and must still load.
+            latency_stages={
+                int(k): dict(v)
+                for k, v in state.get("latency_stages", {}).items()  # type: ignore[union-attr]
+            },
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -169,6 +220,9 @@ class MetricsReport:
             "isolations": self.isolations,
             "isolation_latencies": {
                 str(node): self.isolation_latency(node) for node in self.isolation_times
+            },
+            "detection_latencies": {
+                str(node): self.detection_latency(node) for node in self.latency_stages
             },
             "false_isolations": {str(k): v for k, v in self.false_isolations.items()},
         }
@@ -213,7 +267,12 @@ class MetricsCollector:
         self.isolation_times: Dict[NodeId, float] = {}
         self.false_isolations: Dict[NodeId, int] = {}
         self._revokers: Dict[NodeId, Set[NodeId]] = {}
+        # Latency decomposition stages (ground-truth malicious nodes only).
+        self.first_malc: Dict[NodeId, float] = {}
+        self.first_detection: Dict[NodeId, float] = {}
+        self.first_quorum: Dict[NodeId, float] = {}
         self._last_time = 0.0
+        trace.subscribe("malc_increment", self._on_malc)
         trace.subscribe("data_origin", self._on_origin)
         trace.subscribe("data_delivered", self._on_delivered)
         trace.subscribe("malicious_drop", self._on_drop)
@@ -266,13 +325,24 @@ class MetricsCollector:
         node = record["node"]
         self.first_activity.setdefault(node, record.time)
 
+    def _on_malc(self, record: TraceRecord) -> None:
+        accused = record["accused"]
+        if accused in self.malicious:
+            self.first_malc.setdefault(accused, record.time)
+
     def _on_detection(self, record: TraceRecord) -> None:
         self.detections += 1
-        self._note_revocation(record["accused"], record["guard"], record.time)
+        accused = record["accused"]
+        if accused in self.malicious:
+            self.first_detection.setdefault(accused, record.time)
+        self._note_revocation(accused, record["guard"], record.time)
 
     def _on_isolation(self, record: TraceRecord) -> None:
         self.isolations += 1
-        self._note_revocation(record["accused"], record["node"], record.time)
+        accused = record["accused"]
+        if accused in self.malicious:
+            self.first_quorum.setdefault(accused, record.time)
+        self._note_revocation(accused, record["node"], record.time)
 
     def _note_revocation(self, accused: NodeId, revoker: NodeId, time: float) -> None:
         if accused not in self.malicious:
@@ -296,6 +366,23 @@ class MetricsCollector:
         """Whether every honest neighbor of ``node`` has revoked it."""
         return node in self.isolation_times
 
+    def latency_stages(self) -> Dict[NodeId, Dict[str, float]]:
+        """Per-malicious-node causal stage timestamps (only stages that
+        occurred appear as keys)."""
+        stages: Dict[NodeId, Dict[str, float]] = {}
+        sources: Tuple[Tuple[str, Dict[NodeId, float]], ...] = (
+            ("attack_start", self.first_activity),
+            ("first_malc", self.first_malc),
+            ("local_revocation", self.first_detection),
+            ("quorum", self.first_quorum),
+            ("full_isolation", self.isolation_times),
+        )
+        for name, mapping in sources:
+            for node, time in mapping.items():
+                if node in self.malicious:
+                    stages.setdefault(node, {})[name] = time
+        return stages
+
     def report(
         self,
         duration: Optional[float] = None,
@@ -316,4 +403,5 @@ class MetricsCollector:
             isolations=self.isolations,
             false_isolations=dict(self.false_isolations),
             node_counters=dict(node_counters) if node_counters else {},
+            latency_stages=self.latency_stages(),
         )

@@ -18,6 +18,16 @@ production scale:
 - :mod:`repro.obs.config` — :class:`ObsConfig`, the frozen knob bundle a
   :class:`~repro.experiments.scenario.ScenarioConfig` carries to switch
   all of the above on for a run or a whole sweep.
+- :mod:`repro.obs.latency` — the causal detection-latency decomposition
+  (attack start → first MalC → local revocation → quorum → full
+  isolation) with cross-replication p50/p90/p99 summaries.
+- :mod:`repro.obs.series` — event-driven time series (watch-buffer
+  occupancy, cumulative MalC, alerts in flight, revoked neighbors,
+  wormhole drops) with fixed-step resampling and aggregation bands.
+- :mod:`repro.obs.spans` — nested wall-clock span profiling of the
+  experiment harness (build / run / collect / cache / fan-out).
+- :mod:`repro.obs.report` — one markdown + JSON run report combining all
+  of the above, identical from a live trace and a JSONL replay.
 
 See docs/OBSERVABILITY.md for the walkthrough and CLI examples.
 """
@@ -25,6 +35,12 @@ See docs/OBSERVABILITY.md for the walkthrough and CLI examples.
 from repro.obs.config import ObsConfig
 from repro.obs.counters import snapshot_counters
 from repro.obs.invariants import InvariantChecker, Violation
+from repro.obs.latency import (
+    LatencyDecomposer,
+    StageLatency,
+    summarize_decompositions,
+)
+from repro.obs.report import ReportBuilder, RunReport, build_report
 from repro.obs.schema import (
     DEFAULT_REGISTRY,
     SchemaRegistry,
@@ -32,19 +48,34 @@ from repro.obs.schema import (
     TraceSchemaError,
     install_strict,
 )
-from repro.obs.sinks import JsonlSink, MemorySink, read_jsonl
+from repro.obs.series import Series, SeriesRecorder, aggregate_bands
+from repro.obs.sinks import JsonlSink, MemorySink, ReadStats, read_jsonl
+from repro.obs.spans import SpanProfiler, activate, span
 
 __all__ = [
     "DEFAULT_REGISTRY",
     "InvariantChecker",
     "JsonlSink",
+    "LatencyDecomposer",
     "MemorySink",
     "ObsConfig",
+    "ReadStats",
+    "ReportBuilder",
+    "RunReport",
     "SchemaRegistry",
+    "Series",
+    "SeriesRecorder",
+    "SpanProfiler",
+    "StageLatency",
     "TraceSchema",
     "TraceSchemaError",
     "Violation",
+    "activate",
+    "aggregate_bands",
+    "build_report",
     "install_strict",
     "read_jsonl",
     "snapshot_counters",
+    "span",
+    "summarize_decompositions",
 ]

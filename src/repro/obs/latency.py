@@ -1,0 +1,298 @@
+"""Causal detection-latency decomposition.
+
+The paper's headline output is a single number — isolation latency, how
+long an attacker survives between first misbehavior and network-wide
+isolation.  This module splits that number into its causal stages, each
+anchored to a trace kind the simulator already emits:
+
+======================  ==========================================
+stage timestamp         anchored to
+======================  ==========================================
+``attack_start``        first ``wormhole_activity`` / ``malicious_drop``
+``first_malc``          first ``malc_increment`` against the node
+``local_revocation``    first ``guard_detection`` (a guard's MalC ≥ C_t)
+``quorum``              first ``isolation`` (θ distinct guards at a neighbor)
+``full_isolation``      the last *new* revoker observed for the node
+======================  ==========================================
+
+and the durations between consecutive stages:
+
+- ``observe`` — attack start → first MalC (how long misbehavior went
+  unnoticed by every guard);
+- ``accumulate`` — first MalC → local revocation (MalC climbing to C_t);
+- ``disseminate`` — local revocation → first quorum (alert propagation
+  until some neighbor collected θ distinct guards);
+- ``spread`` — first quorum → full isolation (revocation news reaching
+  the rest of the neighborhood).
+
+``full_isolation`` here is the trace-level proxy — the moment the set of
+distinct revokers stopped growing — which is computable identically from
+a live subscription and from a JSONL replay.  The ground-truth variant
+(every honest neighbor revoked, which needs the topology) lives on
+:class:`~repro.metrics.collector.MetricsReport` as ``latency_stages``.
+
+:class:`LatencyDecomposer` consumes records either live (``attach`` to a
+:class:`~repro.sim.trace.TraceLog`) or offline (``process`` each record
+from :func:`repro.obs.sinks.read_jsonl`); both paths produce identical
+decompositions.  :func:`summarize` / :func:`histogram` aggregate stage
+durations across replications into p50/p90/p99 summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.sim.trace import TraceLog, TraceRecord
+
+#: Stage timestamps in causal order.
+STAGES: Tuple[str, ...] = (
+    "attack_start",
+    "first_malc",
+    "local_revocation",
+    "quorum",
+    "full_isolation",
+)
+
+#: (duration name, start stage, end stage) in causal order.
+DURATIONS: Tuple[Tuple[str, str, str], ...] = (
+    ("observe", "attack_start", "first_malc"),
+    ("accumulate", "first_malc", "local_revocation"),
+    ("disseminate", "local_revocation", "quorum"),
+    ("spread", "quorum", "full_isolation"),
+)
+
+
+@dataclass
+class StageLatency:
+    """One malicious node's stage timestamps (simulated seconds).
+
+    Any stage the run never reached stays ``None`` — e.g. a node whose
+    MalC never crossed C_t has ``local_revocation`` and everything after
+    it unset.
+    """
+
+    node: Any
+    attack_start: Optional[float] = None
+    first_malc: Optional[float] = None
+    local_revocation: Optional[float] = None
+    quorum: Optional[float] = None
+    full_isolation: Optional[float] = None
+    revokers: Set[Any] = field(default_factory=set)
+
+    def stage(self, name: str) -> Optional[float]:
+        """Timestamp of one named stage (None if never reached)."""
+        if name not in STAGES:
+            raise KeyError(f"unknown stage {name!r}; stages: {STAGES}")
+        return getattr(self, name)
+
+    def durations(self) -> Dict[str, Optional[float]]:
+        """Seconds spent in each causal stage (None where unreached)."""
+        out: Dict[str, Optional[float]] = {}
+        for name, start, end in DURATIONS:
+            t0, t1 = getattr(self, start), getattr(self, end)
+            out[name] = max(0.0, t1 - t0) if t0 is not None and t1 is not None else None
+        return out
+
+    @property
+    def detection_latency(self) -> Optional[float]:
+        """Attack start → first local revocation (a guard crossing C_t)."""
+        if self.attack_start is None or self.local_revocation is None:
+            return None
+        return max(0.0, self.local_revocation - self.attack_start)
+
+    @property
+    def total(self) -> Optional[float]:
+        """Attack start → full isolation (the paper's isolation latency)."""
+        if self.attack_start is None or self.full_isolation is None:
+            return None
+        return max(0.0, self.full_isolation - self.attack_start)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every stage was reached."""
+        return all(getattr(self, name) is not None for name in STAGES)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready rendering: stages, durations, headline latencies."""
+        return {
+            "stages": {name: getattr(self, name) for name in STAGES},
+            "durations": self.durations(),
+            "detection_latency": self.detection_latency,
+            "total": self.total,
+            "revokers": len(self.revokers),
+        }
+
+
+class LatencyDecomposer:
+    """Builds per-node :class:`StageLatency` from a stream of records.
+
+    Works identically attached to a live trace (:meth:`attach`) or fed an
+    exported record stream (:meth:`process` / :meth:`check_all` style
+    replay) — the decomposition depends only on record order and fields.
+    """
+
+    KINDS: Tuple[str, ...] = (
+        "wormhole_activity",
+        "malicious_drop",
+        "malc_increment",
+        "guard_detection",
+        "isolation",
+    )
+
+    def __init__(self) -> None:
+        self._stages: Dict[Any, StageLatency] = {}
+        #: Nodes with ground-truth attack evidence in the trace.
+        self.attacked: Set[Any] = set()
+
+    def attach(self, trace: TraceLog) -> None:
+        """Subscribe to every relevant kind on a live trace log."""
+        for kind in self.KINDS:
+            trace.subscribe(kind, self.process)
+
+    def _entry(self, node: Any) -> StageLatency:
+        entry = self._stages.get(node)
+        if entry is None:
+            entry = self._stages[node] = StageLatency(node=node)
+        return entry
+
+    def process(self, record: TraceRecord) -> None:
+        """Feed one record (in emission order)."""
+        kind = record.kind
+        if kind in ("wormhole_activity", "malicious_drop"):
+            node = record["node"]
+            self.attacked.add(node)
+            entry = self._entry(node)
+            if entry.attack_start is None:
+                entry.attack_start = record.time
+        elif kind == "malc_increment":
+            entry = self._entry(record["accused"])
+            if entry.first_malc is None:
+                entry.first_malc = record.time
+        elif kind == "guard_detection":
+            entry = self._entry(record["accused"])
+            if entry.local_revocation is None:
+                entry.local_revocation = record.time
+            self._note_revoker(entry, record["guard"], record.time)
+        elif kind == "isolation":
+            entry = self._entry(record["accused"])
+            if entry.quorum is None:
+                entry.quorum = record.time
+            self._note_revoker(entry, record["node"], record.time)
+
+    @staticmethod
+    def _note_revoker(entry: StageLatency, revoker: Any, time: float) -> None:
+        # full_isolation advances only when a *new* distinct revoker
+        # appears: the moment the revoker set stops growing is the
+        # trace-level proxy for network-wide isolation.
+        if revoker not in entry.revokers:
+            entry.revokers.add(revoker)
+            entry.full_isolation = time
+
+    def decomposition(self, attacked_only: bool = True) -> Dict[Any, StageLatency]:
+        """Per-node stage latencies, keyed by node id.
+
+        With ``attacked_only`` (the default) only nodes with ground-truth
+        attack evidence are returned — accusations against honest nodes
+        (false positives) are a different metric and stay out.
+        """
+        if not attacked_only:
+            return dict(self._stages)
+        return {
+            node: entry
+            for node, entry in self._stages.items()
+            if node in self.attacked
+        }
+
+
+# ----------------------------------------------------------------------
+# Cross-replication aggregation
+# ----------------------------------------------------------------------
+def quantile(values: Sequence[float], q: float) -> Optional[float]:
+    """Linear-interpolation quantile of ``values`` (deterministic).
+
+    ``q`` in [0, 1]; returns None on an empty input.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q!r}")
+    ordered = sorted(values)
+    if not ordered:
+        return None
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+
+def summarize(values: Iterable[float]) -> Dict[str, Optional[float]]:
+    """count / mean / min / max / p50 / p90 / p99 of a duration sample."""
+    sample = [float(v) for v in values]
+    if not sample:
+        return {
+            "count": 0, "mean": None, "min": None, "max": None,
+            "p50": None, "p90": None, "p99": None,
+        }
+    return {
+        "count": len(sample),
+        "mean": sum(sample) / len(sample),
+        "min": min(sample),
+        "max": max(sample),
+        "p50": quantile(sample, 0.50),
+        "p90": quantile(sample, 0.90),
+        "p99": quantile(sample, 0.99),
+    }
+
+
+def histogram(values: Iterable[float], bins: int = 10) -> Dict[str, List[float]]:
+    """Equal-width histogram: ``{"edges": [b+1 floats], "counts": [b ints]}``.
+
+    Degenerate inputs (empty, or all values equal) collapse to a single
+    bin so the output shape stays predictable.
+    """
+    if bins < 1:
+        raise ValueError(f"bins must be positive, got {bins!r}")
+    sample = sorted(float(v) for v in values)
+    if not sample:
+        return {"edges": [], "counts": []}
+    low, high = sample[0], sample[-1]
+    if high == low:
+        return {"edges": [low, high], "counts": [len(sample)]}
+    width = (high - low) / bins
+    edges = [low + i * width for i in range(bins)] + [high]
+    counts = [0] * bins
+    for value in sample:
+        index = min(int((value - low) / width), bins - 1)
+        counts[index] += 1
+    return {"edges": edges, "counts": counts}
+
+
+def summarize_decompositions(
+    decompositions: Iterable[Mapping[Any, StageLatency]],
+    bins: int = 10,
+) -> Dict[str, Dict[str, Any]]:
+    """Aggregate stage durations across replications.
+
+    Input: one ``decomposition()`` mapping per replication.  Output: for
+    each duration name (plus the headline ``detection_latency`` and
+    ``total``), the :func:`summarize` statistics and a :func:`histogram`
+    over every node of every replication that reached the stage.
+    """
+    samples: Dict[str, List[float]] = {name: [] for name, _, _ in DURATIONS}
+    samples["detection_latency"] = []
+    samples["total"] = []
+    for decomposition in decompositions:
+        for entry in decomposition.values():
+            for name, value in entry.durations().items():
+                if value is not None:
+                    samples[name].append(value)
+            if entry.detection_latency is not None:
+                samples["detection_latency"].append(entry.detection_latency)
+            if entry.total is not None:
+                samples["total"].append(entry.total)
+    return {
+        name: {"summary": summarize(values), "histogram": histogram(values, bins=bins)}
+        for name, values in samples.items()
+    }

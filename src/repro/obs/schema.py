@@ -197,6 +197,8 @@ def _build_default_registry() -> SchemaRegistry:
               description="HELLO reply failed authentication")
     r.declare("nd_list_rejected", ["node", "sender"],
               description="neighbor-list broadcast failed authentication")
+    r.declare("watch_buffer", ["guard", "size", "peak"],
+              description="sampled watch-buffer occupancy gauge (1 Hz/guard)")
     r.declare("malc_increment", ["guard", "accused", "value", "reason", "packet", "total"],
               description="a guard raised MalC for fabrication/drop")
     r.declare("malc_suspended", ["guard", "accused", "reason"],

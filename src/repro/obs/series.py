@@ -1,0 +1,259 @@
+"""Event-driven time-series over the trace pipeline.
+
+Figures and dashboards want *how protocol state evolved over simulated
+time*, not just end-of-run totals.  :class:`SeriesRecorder` subscribes to
+the relevant trace kinds (live, or replayed from a JSONL export — both
+paths produce identical series) and maintains step-function series:
+
+- ``watch_buffer`` — total watch-buffer occupancy across all guards
+  (from the monitor's sampled ``watch_buffer`` gauge records);
+- ``malc_total`` — cumulative MalC raised across all accused nodes, plus
+  a per-node breakdown ``malc[<node>]`` for every accused node;
+- ``alerts_in_flight`` — alerts sent but not yet acked or abandoned;
+- ``revoked_neighbors`` — total distinct (revoker, accused) pairs, plus
+  per-accused ``revoked[<node>]`` — with an optional neighborhood-size
+  map this becomes the fraction of the attacker's neighborhood revoked;
+- ``wormhole_drops`` — cumulative data packets swallowed by attackers.
+
+Series are event-timed; :meth:`Series.resample` projects one onto a
+fixed-step grid (sample-and-hold) and :func:`aggregate_bands` collapses
+the same series across replications into mean/min/max bands.  Export via
+:func:`series_to_csv` / :func:`series_to_json`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.sim.trace import TraceLog, TraceRecord
+
+
+@dataclass
+class Series:
+    """A named step function: (time, value) points in emission order.
+
+    Between points the series holds its last value (sample-and-hold);
+    before the first point it is ``initial`` (0 for every recorder
+    series).
+    """
+
+    name: str
+    initial: float = 0.0
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def add(self, time: float, value: float) -> None:
+        """Append one point; same-time updates overwrite (last write wins)."""
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"series {self.name!r}: non-monotonic time {time} after {self.times[-1]}"
+            )
+        if self.times and self.times[-1] == time:
+            self.values[-1] = value
+        else:
+            self.times.append(time)
+            self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def final(self) -> float:
+        """The last recorded value (``initial`` when empty)."""
+        return self.values[-1] if self.values else self.initial
+
+    def value_at(self, time: float) -> float:
+        """The step-function value at ``time`` (last point at or before)."""
+        index = bisect.bisect_right(self.times, time)
+        if index == 0:
+            return self.initial
+        return self.values[index - 1]
+
+    def resample(self, times: Sequence[float]) -> List[float]:
+        """Sample-and-hold projection onto an arbitrary time grid."""
+        return [self.value_at(t) for t in times]
+
+    def points(self) -> List[Tuple[float, float]]:
+        """The raw event-timed points as (time, value) tuples."""
+        return list(zip(self.times, self.values))
+
+
+def regular_times(t_max: float, step: float) -> List[float]:
+    """The fixed-step grid ``step, 2*step, … ≥ t_max`` (last point covers
+    the horizon).  Deterministic for identical inputs."""
+    if step <= 0:
+        raise ValueError(f"step must be positive, got {step!r}")
+    if t_max <= 0:
+        return [step]
+    count = int(t_max / step)
+    times = [step * (i + 1) for i in range(count)]
+    if not times or times[-1] < t_max:
+        times.append(step * (count + 1))
+    return times
+
+
+class SeriesRecorder:
+    """Builds the standard protocol series from a record stream.
+
+    Parameters
+    ----------
+    neighborhoods:
+        Optional ground truth ``{node: honest-neighborhood size}``.  When
+        a size is known for an accused node, its ``revoked[<node>]``
+        series records the *fraction* of that neighborhood revoked
+        instead of the raw distinct-revoker count.  (The report pipeline
+        omits this so live and replayed reports stay byte-identical.)
+    """
+
+    KINDS: Tuple[str, ...] = (
+        "watch_buffer",
+        "malc_increment",
+        "alert_sent",
+        "alert_ack_verified",
+        "alert_abandoned",
+        "guard_detection",
+        "isolation",
+        "malicious_drop",
+    )
+
+    #: Series every run produces (per-node breakdowns appear lazily).
+    GLOBAL_SERIES: Tuple[str, ...] = (
+        "watch_buffer",
+        "malc_total",
+        "alerts_in_flight",
+        "revoked_neighbors",
+        "wormhole_drops",
+    )
+
+    def __init__(self, neighborhoods: Optional[Mapping[Any, int]] = None) -> None:
+        self.neighborhoods = dict(neighborhoods) if neighborhoods else {}
+        self._series: Dict[str, Series] = {
+            name: Series(name) for name in self.GLOBAL_SERIES
+        }
+        self._watch_sizes: Dict[Any, int] = {}  # guard -> last sampled size
+        self._malc_cum: Dict[Any, int] = {}  # accused -> cumulative value
+        self._malc_sum = 0
+        self._alerts_open: Set[Tuple[Any, Any, Any]] = set()
+        self._revoked_pairs: Dict[Any, Set[Any]] = {}  # accused -> revokers
+        self._drops = 0
+
+    def attach(self, trace: TraceLog) -> None:
+        """Subscribe to every relevant kind on a live trace log."""
+        for kind in self.KINDS:
+            trace.subscribe(kind, self.process)
+
+    def _get(self, name: str) -> Series:
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = Series(name)
+        return series
+
+    # ------------------------------------------------------------------
+    # Record dispatch
+    # ------------------------------------------------------------------
+    def process(self, record: TraceRecord) -> None:
+        """Feed one record (in emission order)."""
+        kind = record.kind
+        time = record.time
+        if kind == "watch_buffer":
+            guard = record["guard"]
+            size = record["size"]
+            self._watch_sizes[guard] = size
+            self._get("watch_buffer").add(time, sum(self._watch_sizes.values()))
+        elif kind == "malc_increment":
+            accused = record["accused"]
+            value = record["value"]
+            total = self._malc_cum.get(accused, 0) + value
+            self._malc_cum[accused] = total
+            self._malc_sum += value
+            self._get(f"malc[{accused}]").add(time, total)
+            self._get("malc_total").add(time, self._malc_sum)
+        elif kind == "alert_sent":
+            self._alerts_open.add(
+                (record["guard"], record["accused"], record["recipient"])
+            )
+            self._get("alerts_in_flight").add(time, len(self._alerts_open))
+        elif kind in ("alert_ack_verified", "alert_abandoned"):
+            self._alerts_open.discard(
+                (record["guard"], record["accused"], record["recipient"])
+            )
+            self._get("alerts_in_flight").add(time, len(self._alerts_open))
+        elif kind in ("guard_detection", "isolation"):
+            accused = record["accused"]
+            revoker = record["guard"] if kind == "guard_detection" else record["node"]
+            revokers = self._revoked_pairs.setdefault(accused, set())
+            if revoker in revokers:
+                return
+            revokers.add(revoker)
+            count = len(revokers)
+            size = self.neighborhoods.get(accused)
+            self._get(f"revoked[{accused}]").add(
+                time, count / size if size else count
+            )
+            self._get("revoked_neighbors").add(
+                time, sum(len(s) for s in self._revoked_pairs.values())
+            )
+        elif kind == "malicious_drop":
+            self._drops += 1
+            self._get("wormhole_drops").add(time, self._drops)
+
+    # ------------------------------------------------------------------
+    # Retrieval / export
+    # ------------------------------------------------------------------
+    def series(self) -> Dict[str, Series]:
+        """All recorded series, keyed by name (sorted for determinism)."""
+        return {name: self._series[name] for name in sorted(self._series)}
+
+    def get(self, name: str) -> Optional[Series]:
+        """One series by name, or None if never touched."""
+        return self._series.get(name)
+
+
+def aggregate_bands(
+    series_list: Sequence[Series], times: Sequence[float]
+) -> Dict[str, List[float]]:
+    """Resample each replication's series onto ``times`` and collapse to
+    mean/min/max bands — the cross-replication envelope a figure plots."""
+    if not series_list:
+        raise ValueError("aggregate_bands needs at least one series")
+    stacked = [series.resample(times) for series in series_list]
+    count = len(stacked)
+    mean: List[float] = []
+    low: List[float] = []
+    high: List[float] = []
+    for column in zip(*stacked):
+        mean.append(sum(column) / count)
+        low.append(min(column))
+        high.append(max(column))
+    return {"mean": mean, "min": low, "max": high}
+
+
+def series_to_csv(
+    series_map: Mapping[str, Series], times: Sequence[float]
+) -> str:
+    """All series resampled onto one grid, as a CSV string (header row
+    ``time,<name>,…`` in sorted-name order)."""
+    names = sorted(series_map)
+    columns = [series_map[name].resample(times) for name in names]
+    lines = [",".join(["time", *names])]
+    for index, time in enumerate(times):
+        row = [repr(float(time))] + [repr(float(columns[i][index])) for i in range(len(names))]
+        lines.append(",".join(row))
+    return "\n".join(lines) + "\n"
+
+
+def series_to_json(
+    series_map: Mapping[str, Series], times: Sequence[float]
+) -> str:
+    """All series resampled onto one grid, as deterministic JSON."""
+    payload = {
+        "times": [float(t) for t in times],
+        "series": {
+            name: [float(v) for v in series.resample(times)]
+            for name, series in sorted(series_map.items())
+        },
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))

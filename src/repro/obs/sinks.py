@@ -122,16 +122,49 @@ class MemorySink:
         return len(self.records)
 
 
-def read_jsonl(path: Union[str, Path]) -> Iterator[TraceRecord]:
+class ReadStats:
+    """Mutable side-channel for :func:`read_jsonl` bookkeeping."""
+
+    def __init__(self) -> None:
+        self.records = 0
+        self.partial_lines = 0
+
+
+def read_jsonl(
+    path: Union[str, Path],
+    tolerate_partial: bool = False,
+    stats: Optional[ReadStats] = None,
+) -> Iterator[TraceRecord]:
     """Stream records back from a JSONL trace export, skipping blank
     lines.  Raises ``ValueError`` naming the offending line number on
-    malformed JSON."""
+    malformed JSON.
+
+    A sweep worker killed mid-write (crash, SIGKILL, out-of-disk) can
+    legitimately leave a truncated *final* line behind.  With
+    ``tolerate_partial`` such a trailing fragment is skipped — and
+    counted in ``stats.partial_lines`` — instead of raising; malformed
+    JSON followed by further records is still corruption and raises
+    either way.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
+            stripped = line.strip()
+            if not stripped:
                 continue
             try:
-                yield record_from_json(line)
+                record = record_from_json(stripped)
             except (json.JSONDecodeError, KeyError) as exc:
-                raise ValueError(f"{path}:{lineno}: malformed trace line: {exc}") from exc
+                if tolerate_partial and isinstance(exc, json.JSONDecodeError):
+                    remainder = handle.read()
+                    if not remainder.strip():
+                        # Truncated trailing line: a killed writer's last
+                        # O_APPEND never completed.  Skip and count it.
+                        if stats is not None:
+                            stats.partial_lines += 1
+                        return
+                raise ValueError(
+                    f"{path}:{lineno}: malformed trace line: {exc}"
+                ) from exc
+            if stats is not None:
+                stats.records += 1
+            yield record

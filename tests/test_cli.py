@@ -118,6 +118,35 @@ def test_bench_rejects_unknown_name(tmp_path):
         main(["bench", "--only", "bogus", "--output-dir", str(tmp_path)])
 
 
+def test_bench_trace_measures_per_sink_overhead(tmp_path, capsys):
+    assert main(["bench", "--only", "trace", "--output-dir", str(tmp_path)]) == 0
+    import json
+    payload = json.loads((tmp_path / "BENCH_trace.json").read_text())
+    metrics = payload["metrics"]
+    for config in ("no_sink", "memory_sink", "jsonl_sink", "ring"):
+        assert metrics[f"{config}_ns_per_emit"] > 0.0
+    for config in ("memory_sink", "jsonl_sink", "ring"):
+        assert metrics[f"{config}_overhead"] > 0.0
+    assert {s["config"] for s in payload["samples"]} == {
+        "no_sink", "memory_sink", "jsonl_sink", "ring",
+    }
+
+
+def test_bench_sweep_records_harness_spans():
+    from repro.bench import bench_sweep
+
+    result = bench_sweep(quick=True, jobs=1, runs=1)
+    assert result.metrics["byte_identical"] is True
+    spans = result.spans
+    assert "sweep.fanout" in spans
+    assert "sweep.fanout/scenario.build" in spans
+    assert "sweep.fanout/scenario.run" in spans
+    assert "sweep.fanout/metrics.collect" in spans
+    assert "cache.store" in spans
+    assert "cache.lookup" in spans
+    assert result.to_dict()["spans"] == spans
+
+
 def test_chaos_parser_defaults():
     args = build_parser().parse_args(["chaos", "--no-liveness", "--seed", "9"])
     assert args.command == "chaos"

@@ -110,3 +110,98 @@ def test_trace_parser_requires_subcommand():
 def test_trace_export_requires_out():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["trace", "export"])
+
+
+# ----------------------------------------------------------------------
+# Missing / empty / truncated exports: one-line errors, never tracebacks
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("command", ["stats", "check"])
+def test_trace_commands_fail_cleanly_on_missing_file(tmp_path, capsys, command):
+    assert main(["trace", command, str(tmp_path / "nope.jsonl")]) == 1
+    err = capsys.readouterr().err
+    assert "not found" in err
+    assert len(err.strip().splitlines()) == 1
+
+
+@pytest.mark.parametrize("command", ["stats", "check"])
+def test_trace_commands_fail_cleanly_on_empty_file(tmp_path, capsys, command):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    assert main(["trace", command, str(path)]) == 1
+    assert "empty" in capsys.readouterr().err
+
+
+def test_trace_stats_tolerates_truncated_final_line(tmp_path, capsys):
+    path = export(tmp_path)
+    intact = len(path.read_text().splitlines())
+    # Chop the last line mid-JSON, as a killed writer would leave it.
+    truncated = path.read_text()[:-20]
+    assert not truncated.endswith("\n")
+    path.write_text(truncated)
+    capsys.readouterr()
+    assert main(["trace", "stats", str(path)]) == 0
+    captured = capsys.readouterr()
+    assert "skipped 1 partial trailing line" in captured.err
+    assert f"records : {intact - 1}" in captured.out
+
+
+def test_trace_check_rejects_midfile_corruption(tmp_path, capsys):
+    path = tmp_path / "corrupt.jsonl"
+    path.write_text(
+        '{"time": 0.0, "kind": "malicious_drop", "fie\n'
+        '{"time": 1.0, "kind": "malicious_drop", "fields": {"node": 1, "packet": 2}}\n'
+    )
+    assert main(["trace", "check", str(path)]) == 1
+    assert "malformed trace line" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# repro report
+# ----------------------------------------------------------------------
+def test_report_from_export(tmp_path, capsys):
+    path = export(tmp_path)
+    json_path = tmp_path / "report.json"
+    md_path = tmp_path / "report.md"
+    capsys.readouterr()
+    assert main(["report", str(path), "--json", str(json_path),
+                 "--md", str(md_path)]) == 0
+    payload = json.loads(json_path.read_text())
+    assert payload["meta"]["records"] == len(path.read_text().splitlines())
+    assert payload["latency"]["per_run"]
+    assert "# Run report" in md_path.read_text()
+
+
+def test_report_prints_markdown_by_default(tmp_path, capsys):
+    path = export(tmp_path)
+    capsys.readouterr()
+    assert main(["report", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "# Run report" in out
+    assert "## Detection-latency decomposition" in out
+
+
+def test_report_live_matches_export_replay(tmp_path, capsys):
+    out_trace = tmp_path / "live.jsonl"
+    live_json = tmp_path / "live.json"
+    replay_json = tmp_path / "replay.json"
+    argv = ["--nodes", "20", "--duration", "60", "--seed", "3",
+            "--attack", "outofband", "--malicious", "2", "--attack-start", "20"]
+    assert main(["report", "--live", "--out", str(out_trace),
+                 "--json", str(live_json), "--md", str(tmp_path / "r.md"),
+                 *argv]) == 0
+    assert main(["report", str(out_trace), "--json", str(replay_json)]) == 0
+    assert live_json.read_bytes() == replay_json.read_bytes()
+
+
+def test_report_requires_exactly_one_source(tmp_path, capsys):
+    assert main(["report"]) == 1
+    assert "need a trace export" in capsys.readouterr().err
+    path = export(tmp_path)
+    capsys.readouterr()
+    assert main(["report", str(path), "--live"]) == 1
+    assert "not both" in capsys.readouterr().err
+
+
+def test_report_fails_cleanly_on_missing_file(tmp_path, capsys):
+    assert main(["report", str(tmp_path / "nope.jsonl")]) == 1
+    assert "not found" in capsys.readouterr().err

@@ -7,7 +7,7 @@ isolated.
 
 
 from repro.core.config import LiteworpConfig
-from repro.core.monitor import LocalMonitor
+from repro.core.monitor import WATCH_SAMPLE_PERIOD, LocalMonitor
 from repro.core.tables import NeighborTable
 from repro.net.packet import (
     DataPacket,
@@ -104,6 +104,42 @@ def test_drop_detected_after_deadline():
     assert monitor.drops_seen == 1
     assert table.malc(2, sim.now, 200.0) == config.v_drop
     assert monitor.watch_buffer_size == 0
+
+
+def test_watch_buffer_gauge_sampled_and_throttled():
+    config = LiteworpConfig(delta=10.0)
+    sim, monitor, table, detections, trace = build(config)
+    # First insertion emits immediately (size 0 -> 1).
+    monitor.observe(Frame(packet=rep(rid=1), transmitter=1, link_dst=2))
+    gauges = trace.of_kind("watch_buffer")
+    assert len(gauges) == 1
+    assert gauges[0]["guard"] == GUARD
+    assert gauges[0]["size"] == 1
+    # More churn within the sample period stays silent...
+    monitor.observe(Frame(packet=rep(rid=2), transmitter=1, link_dst=2))
+    monitor.observe(Frame(packet=rep(rid=3), transmitter=1, link_dst=2))
+    assert len(trace.of_kind("watch_buffer")) == 1
+    # ...but once the period elapses the next size change is recorded.
+    sim.run(until=WATCH_SAMPLE_PERIOD + 0.1)
+    monitor.observe(Frame(packet=rep(rid=4), transmitter=1, link_dst=2))
+    gauges = trace.of_kind("watch_buffer")
+    assert len(gauges) == 2
+    assert gauges[-1]["size"] == 4
+    assert gauges[-1]["peak"] == 4
+
+
+def test_watch_buffer_gauge_skips_unchanged_size():
+    config = LiteworpConfig(delta=0.2)
+    sim, monitor, table, detections, trace = build(config)
+    monitor.observe(Frame(packet=rep(rid=1), transmitter=1, link_dst=2))
+    assert len(trace.of_kind("watch_buffer")) == 1  # 0 -> 1 emits
+    # The 0.2 s drop deadline empties the buffer inside the throttle
+    # window (no gauge), so a later insertion restoring the last-sampled
+    # size (1) is also silent: the gauge records changes relative to the
+    # last *emitted* sample, not every transition.
+    sim.run(until=2.0)
+    monitor.observe(Frame(packet=rep(rid=2), transmitter=1, link_dst=2))
+    assert len(trace.of_kind("watch_buffer")) == 1
 
 
 def test_forward_clears_watch_entry():

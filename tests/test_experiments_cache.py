@@ -99,3 +99,40 @@ def test_hit_and_miss_counters(tmp_path):
     cache.put(TINY, run_scenario(TINY))
     assert cache.get(TINY) is not None
     assert cache.stats() == {"hits": 1, "misses": 1}
+
+
+ATTACKED = ScenarioConfig(
+    n_nodes=24, duration=60.0, seed=3, attack_mode="outofband",
+    n_malicious=2, attack_start=20.0, defense="liteworp",
+)
+
+
+def test_latency_stages_round_trip_through_cache(tmp_path):
+    report = run_scenario(ATTACKED)
+    assert report.latency_stages  # the attack must have been observed
+    cache = ResultCache(tmp_path)
+    cache.put(ATTACKED, report)
+    fetched = ResultCache(tmp_path).get(ATTACKED)
+    assert fetched.latency_stages == report.latency_stages
+    for node in report.latency_stages:
+        assert fetched.detection_latency(node) == report.detection_latency(node)
+        assert fetched.latency_decomposition(node) == report.latency_decomposition(node)
+    assert fetched.mean_detection_latency() == report.mean_detection_latency()
+
+
+def test_schema_version_2_entry_loads_without_latency_stages(tmp_path):
+    """Entries written before latency_stages existed must still load."""
+    report = run_scenario(TINY)
+    cache = ResultCache(tmp_path)
+    path = cache.path_for(TINY)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = report.to_state()
+    del state["latency_stages"]  # pin the version-2 on-disk shape
+    path.write_text(json.dumps(
+        {"schema": 2, "config": repr(TINY), "report": state}
+    ))
+    loaded = ResultCache(tmp_path).get(TINY)
+    assert loaded is not None
+    assert loaded.latency_stages == {}
+    assert loaded.mean_detection_latency() is None
+    assert loaded.originated == report.originated

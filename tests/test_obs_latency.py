@@ -1,0 +1,184 @@
+"""Detection-latency decomposition tests (synthetic record streams)."""
+
+import pytest
+
+from repro.obs.latency import (
+    DURATIONS,
+    STAGES,
+    LatencyDecomposer,
+    StageLatency,
+    histogram,
+    quantile,
+    summarize,
+    summarize_decompositions,
+)
+from repro.sim.trace import TraceLog, TraceRecord
+
+
+def rec(time, kind, **fields):
+    return TraceRecord(time=time, kind=kind, fields=fields)
+
+
+def full_attack_records(node=7):
+    """One attacker observed, accused, revoked, quorum'd, and isolated."""
+    return [
+        rec(10.0, "wormhole_activity", node=node),
+        rec(12.0, "malicious_drop", node=node, packet=1),
+        rec(15.0, "malc_increment", guard=1, accused=node, value=1,
+            reason="drop", packet=1, total=1),
+        rec(18.0, "malc_increment", guard=2, accused=node, value=1,
+            reason="drop", packet=2, total=1),
+        rec(20.0, "guard_detection", guard=1, accused=node),
+        rec(21.0, "guard_detection", guard=2, accused=node),
+        rec(24.0, "isolation", node=3, accused=node, alerts=3),
+        rec(26.0, "isolation", node=4, accused=node, alerts=3),
+    ]
+
+
+def test_stages_assigned_in_causal_order():
+    decomposer = LatencyDecomposer()
+    for record in full_attack_records():
+        decomposer.process(record)
+    entry = decomposer.decomposition()[7]
+    assert entry.attack_start == 10.0  # first activity, not the drop
+    assert entry.first_malc == 15.0
+    assert entry.local_revocation == 20.0
+    assert entry.quorum == 24.0
+    assert entry.full_isolation == 26.0  # last *new* revoker
+    assert entry.complete
+    assert entry.revokers == {1, 2, 3, 4}
+
+
+def test_durations_and_headline_latencies():
+    decomposer = LatencyDecomposer()
+    for record in full_attack_records():
+        decomposer.process(record)
+    entry = decomposer.decomposition()[7]
+    assert entry.durations() == {
+        "observe": 5.0, "accumulate": 5.0, "disseminate": 4.0, "spread": 2.0,
+    }
+    assert entry.detection_latency == 10.0
+    assert entry.total == 16.0
+
+
+def test_repeat_revoker_does_not_advance_full_isolation():
+    decomposer = LatencyDecomposer()
+    for record in full_attack_records():
+        decomposer.process(record)
+    decomposer.process(rec(30.0, "guard_detection", guard=1, accused=7))
+    entry = decomposer.decomposition()[7]
+    assert entry.full_isolation == 26.0  # guard 1 already counted
+
+
+def test_unreached_stages_stay_none():
+    decomposer = LatencyDecomposer()
+    decomposer.process(rec(5.0, "malicious_drop", node=9, packet=1))
+    decomposer.process(rec(8.0, "malc_increment", guard=1, accused=9, value=1,
+                           reason="drop", packet=1, total=1))
+    entry = decomposer.decomposition()[9]
+    assert entry.local_revocation is None
+    assert entry.quorum is None
+    assert not entry.complete
+    assert entry.detection_latency is None
+    assert entry.total is None
+    assert entry.durations()["accumulate"] is None
+
+
+def test_attacked_only_filters_false_accusations():
+    decomposer = LatencyDecomposer()
+    # Node 5 is accused but never shows ground-truth attack evidence.
+    decomposer.process(rec(4.0, "malc_increment", guard=1, accused=5, value=1,
+                           reason="drop", packet=1, total=1))
+    decomposer.process(rec(6.0, "malicious_drop", node=7, packet=2))
+    assert set(decomposer.decomposition()) == {7}
+    assert set(decomposer.decomposition(attacked_only=False)) == {5, 7}
+
+
+def test_attach_subscribes_to_live_trace():
+    trace = TraceLog()
+    decomposer = LatencyDecomposer()
+    decomposer.attach(trace)
+    for record in full_attack_records():
+        trace.emit(record.time, record.kind, **record.fields)
+    replay = LatencyDecomposer()
+    for record in full_attack_records():
+        replay.process(record)
+    live_entry = decomposer.decomposition()[7]
+    replay_entry = replay.decomposition()[7]
+    assert live_entry.to_dict() == replay_entry.to_dict()
+
+
+def test_stage_accessor_validates_names():
+    entry = StageLatency(node=1, attack_start=2.0)
+    assert entry.stage("attack_start") == 2.0
+    with pytest.raises(KeyError):
+        entry.stage("not_a_stage")
+
+
+def test_to_dict_shape():
+    decomposer = LatencyDecomposer()
+    for record in full_attack_records():
+        decomposer.process(record)
+    payload = decomposer.decomposition()[7].to_dict()
+    assert set(payload) == {
+        "stages", "durations", "detection_latency", "total", "revokers",
+    }
+    assert set(payload["stages"]) == set(STAGES)
+    assert set(payload["durations"]) == {name for name, _, _ in DURATIONS}
+    assert payload["revokers"] == 4
+
+
+# ----------------------------------------------------------------------
+# Statistics helpers
+# ----------------------------------------------------------------------
+def test_quantile_interpolates_linearly():
+    values = [0.0, 10.0]
+    assert quantile(values, 0.0) == 0.0
+    assert quantile(values, 0.5) == 5.0
+    assert quantile(values, 1.0) == 10.0
+    assert quantile([], 0.5) is None
+    assert quantile([3.0], 0.9) == 3.0
+    with pytest.raises(ValueError):
+        quantile(values, 1.5)
+
+
+def test_summarize_headline_stats():
+    stats = summarize([1.0, 2.0, 3.0, 4.0])
+    assert stats["count"] == 4
+    assert stats["mean"] == pytest.approx(2.5)
+    assert stats["min"] == 1.0 and stats["max"] == 4.0
+    assert stats["p50"] == pytest.approx(2.5)
+    empty = summarize([])
+    assert empty["count"] == 0 and empty["mean"] is None
+
+
+def test_histogram_equal_width_bins():
+    result = histogram([0.0, 1.0, 2.0, 3.0, 4.0], bins=2)
+    assert result["edges"] == [0.0, 2.0, 4.0]
+    assert result["counts"] == [2, 3]  # max value lands in the last bin
+    assert sum(result["counts"]) == 5
+
+
+def test_histogram_degenerate_inputs():
+    assert histogram([]) == {"edges": [], "counts": []}
+    assert histogram([2.0, 2.0, 2.0]) == {"edges": [2.0, 2.0], "counts": [3]}
+    with pytest.raises(ValueError):
+        histogram([1.0], bins=0)
+
+
+def test_summarize_decompositions_pools_replications():
+    first, second = LatencyDecomposer(), LatencyDecomposer()
+    for record in full_attack_records():
+        first.process(record)
+    for record in full_attack_records(node=11):
+        second.process(record)
+    summary = summarize_decompositions(
+        [first.decomposition(), second.decomposition()]
+    )
+    assert set(summary) == {
+        "observe", "accumulate", "disseminate", "spread",
+        "detection_latency", "total",
+    }
+    assert summary["total"]["summary"]["count"] == 2
+    assert summary["total"]["summary"]["mean"] == pytest.approx(16.0)
+    assert sum(summary["observe"]["histogram"]["counts"]) == 2

@@ -1,0 +1,163 @@
+"""Run-report tests: builder semantics plus live-vs-replay byte identity."""
+
+import json
+
+import pytest
+
+from repro.experiments.scenario import ScenarioConfig, build_scenario
+from repro.obs.config import ObsConfig
+from repro.obs.report import ReportBuilder, build_report
+from repro.obs.sinks import read_jsonl
+from repro.sim.trace import TraceRecord
+
+
+def rec(time, kind, **fields):
+    return TraceRecord(time=time, kind=kind, fields=fields)
+
+
+def attack_records(run=None):
+    """A minimal protocol-clean attack→detection→quorum→isolation stream."""
+    tag = {} if run is None else {"__run__": run}
+    records = [
+        rec(10.0, "wormhole_activity", node=7, **tag),
+        rec(12.0, "malicious_drop", node=7, packet=1, **tag),
+        rec(15.0, "malc_increment", guard=1, accused=7, value=1,
+            reason="drop", packet=1, total=1, **tag),
+        rec(20.0, "guard_detection", guard=1, accused=7, **tag),
+    ]
+    # θ=3 distinct guards must alert node 3 before it may isolate 7.
+    for i, guard in enumerate((1, 2, 4)):
+        records.append(
+            rec(21.0 + 0.5 * i, "alert_sent",
+                guard=guard, accused=7, recipient=3, **tag))
+        records.append(
+            rec(22.0 + 0.5 * i, "alert_accepted",
+                node=3, guard=guard, accused=7, count=i + 1, **tag))
+    records.append(rec(24.0, "isolation", node=3, accused=7, alerts=3, **tag))
+    return records
+
+
+def test_builder_counts_and_summary():
+    report = build_report(attack_records())
+    payload = report.payload
+    assert payload["meta"]["records"] == 11
+    assert payload["meta"]["runs"] == 1
+    assert payload["meta"]["time_min"] == 10.0
+    assert payload["meta"]["time_max"] == 24.0
+    assert payload["summary"]["wormhole_drops"] == 1
+    assert payload["summary"]["detections"] == 1
+    assert payload["summary"]["isolations"] == 1
+    assert payload["summary"]["alerts_sent"] == 3
+    assert payload["summary"]["alerts_accepted"] == 3
+    assert payload["summary"]["delivered"] == 0
+
+
+def test_builder_latency_section():
+    payload = build_report(attack_records()).payload
+    (per_run,) = payload["latency"]["per_run"]
+    entry = per_run["7"]
+    assert entry["stages"]["attack_start"] == 10.0
+    assert entry["stages"]["quorum"] == 24.0
+    assert entry["total"] == 14.0
+    assert payload["latency"]["summary"]["total"]["summary"]["count"] == 1
+
+
+def test_builder_node_counters():
+    payload = build_report(attack_records()).payload
+    assert payload["node_counters"]["7"]["malicious_drops"] == 1
+    assert payload["node_counters"]["7"]["malc_accrued"] == 1
+    assert payload["node_counters"]["1"]["detections"] == 1
+    assert payload["node_counters"]["3"]["isolations"] == 1
+
+
+def test_builder_invariants_verdict():
+    payload = build_report(attack_records()).payload
+    inv = payload["invariants"]
+    assert inv["schema_errors"] == 0
+    assert inv["protocol_violations"] == 0
+    assert inv["attack_observations"] > 0  # the wormhole is evidence
+    assert inv["verdict"] == "pass"
+
+
+def test_schema_errors_fail_the_verdict():
+    records = attack_records() + [rec(30.0, "not_a_kind", whatever=1)]
+    payload = build_report(records).payload
+    assert payload["invariants"]["schema_errors"] == 1
+    assert payload["invariants"]["verdict"] == "fail"
+
+
+def test_multi_run_exports_group_per_run():
+    records = attack_records(run="a:123") + attack_records(run="b:456")
+    payload = build_report(records).payload
+    assert payload["meta"]["runs"] == 2
+    assert len(payload["latency"]["per_run"]) == 2
+    # __run__ never leaks into per-node analysis.
+    assert payload["latency"]["summary"]["total"]["summary"]["count"] == 2
+
+
+def test_series_section_resamples_on_common_grid():
+    payload = build_report(attack_records(), step=6.0).payload
+    series = payload["series"]
+    assert series["step"] == 6.0
+    assert series["times"][-1] >= payload["meta"]["time_max"]
+    (run,) = series["runs"]
+    drops = run["wormhole_drops"]
+    assert drops[-1] == 1.0
+    assert series["bands"]["wormhole_drops"]["mean"] == drops
+
+
+def test_builder_validates_parameters():
+    with pytest.raises(ValueError):
+        ReportBuilder(theta=0)
+    with pytest.raises(ValueError):
+        ReportBuilder(step=-1.0)
+
+
+def test_empty_builder_still_renders():
+    report = ReportBuilder().report()
+    assert report.payload["meta"]["records"] == 0
+    assert "Run report" in report.to_markdown()
+    json.loads(report.to_json())
+
+
+def test_markdown_sections_present():
+    markdown = build_report(attack_records()).to_markdown()
+    for heading in ("## Summary", "## Detection-latency decomposition",
+                    "## Time series", "## Node counters", "## Invariants"):
+        assert heading in markdown
+    assert "attack start" in markdown
+
+
+def test_complete_decomposition_counter():
+    report = build_report(attack_records())
+    assert report.complete_decompositions == 1
+    partial = build_report(attack_records()[:3])  # never detected
+    assert partial.complete_decompositions == 0
+
+
+# ----------------------------------------------------------------------
+# The acceptance-criterion test: a 50-node wormhole run, reported live
+# and from its JSONL export, byte-identical — with a complete
+# attack→detection→quorum→isolation decomposition.
+# ----------------------------------------------------------------------
+def test_live_and_replay_reports_are_byte_identical(tmp_path):
+    out = tmp_path / "trace.jsonl"
+    config = ScenarioConfig(
+        n_nodes=50, duration=120.0, seed=3, attack_mode="outofband",
+        n_malicious=2, attack_start=40.0, defense="liteworp",
+        obs=ObsConfig(trace_path=str(out)),
+    )
+    scenario = build_scenario(config)
+    live = ReportBuilder(theta=3)
+    live.attach(scenario.trace)
+    scenario.run()
+
+    replay = build_report(read_jsonl(out), theta=3)
+    assert live.report().to_json() == replay.to_json()
+
+    payload = replay.payload
+    assert replay.complete_decompositions >= 1
+    assert payload["invariants"]["verdict"] == "pass"
+    # The monitor's sampled gauge feeds the occupancy series.
+    assert payload["meta"]["kinds"].get("watch_buffer", 0) > 0
+    assert max(payload["series"]["bands"]["watch_buffer"]["max"]) > 0.0

@@ -1,0 +1,180 @@
+"""Event-driven time-series recorder tests (synthetic record streams)."""
+
+import json
+
+import pytest
+
+from repro.obs.series import (
+    Series,
+    SeriesRecorder,
+    aggregate_bands,
+    regular_times,
+    series_to_csv,
+    series_to_json,
+)
+from repro.sim.trace import TraceLog, TraceRecord
+
+
+def rec(time, kind, **fields):
+    return TraceRecord(time=time, kind=kind, fields=fields)
+
+
+# ----------------------------------------------------------------------
+# Series primitive
+# ----------------------------------------------------------------------
+def test_series_sample_and_hold():
+    series = Series("s")
+    series.add(1.0, 5.0)
+    series.add(3.0, 2.0)
+    assert series.value_at(0.5) == 0.0  # before first point: initial
+    assert series.value_at(1.0) == 5.0
+    assert series.value_at(2.9) == 5.0
+    assert series.value_at(3.0) == 2.0
+    assert series.value_at(99.0) == 2.0
+    assert series.resample([0.5, 2.0, 4.0]) == [0.0, 5.0, 2.0]
+    assert series.final == 2.0
+    assert len(series) == 2
+
+
+def test_series_same_time_overwrites_and_rejects_backwards():
+    series = Series("s")
+    series.add(1.0, 5.0)
+    series.add(1.0, 7.0)  # last write wins
+    assert series.points() == [(1.0, 7.0)]
+    with pytest.raises(ValueError):
+        series.add(0.5, 1.0)
+
+
+def test_regular_times_covers_horizon():
+    assert regular_times(10.0, 2.5) == [2.5, 5.0, 7.5, 10.0]
+    grid = regular_times(9.9, 2.5)
+    assert grid[-1] >= 9.9
+    assert regular_times(0.0, 1.0) == [1.0]
+    with pytest.raises(ValueError):
+        regular_times(10.0, 0.0)
+
+
+# ----------------------------------------------------------------------
+# Recorder semantics, kind by kind
+# ----------------------------------------------------------------------
+def test_watch_buffer_sums_latest_per_guard():
+    recorder = SeriesRecorder()
+    recorder.process(rec(1.0, "watch_buffer", guard=1, size=3, peak=3))
+    recorder.process(rec(2.0, "watch_buffer", guard=2, size=2, peak=2))
+    recorder.process(rec(3.0, "watch_buffer", guard=1, size=1, peak=3))
+    series = recorder.get("watch_buffer")
+    assert series.points() == [(1.0, 3.0), (2.0, 5.0), (3.0, 3.0)]
+
+
+def test_malc_series_cumulative_and_per_node():
+    recorder = SeriesRecorder()
+    recorder.process(rec(1.0, "malc_increment", guard=1, accused=7, value=2,
+                         reason="drop", packet=1, total=2))
+    recorder.process(rec(2.0, "malc_increment", guard=2, accused=9, value=1,
+                         reason="drop", packet=2, total=1))
+    recorder.process(rec(3.0, "malc_increment", guard=1, accused=7, value=1,
+                         reason="drop", packet=3, total=3))
+    assert recorder.get("malc_total").points() == [(1.0, 2.0), (2.0, 3.0), (3.0, 4.0)]
+    assert recorder.get("malc[7]").points() == [(1.0, 2.0), (3.0, 3.0)]
+    assert recorder.get("malc[9]").points() == [(2.0, 1.0)]
+
+
+def test_alerts_in_flight_tracks_acks_and_abandons():
+    recorder = SeriesRecorder()
+    recorder.process(rec(1.0, "alert_sent", guard=1, accused=7, recipient=3))
+    recorder.process(rec(2.0, "alert_sent", guard=1, accused=7, recipient=4))
+    recorder.process(rec(3.0, "alert_ack_verified", guard=1, accused=7, recipient=3))
+    recorder.process(rec(4.0, "alert_abandoned", guard=1, accused=7,
+                         recipient=4, attempts=5))
+    assert recorder.get("alerts_in_flight").points() == [
+        (1.0, 1.0), (2.0, 2.0), (3.0, 1.0), (4.0, 0.0),
+    ]
+
+
+def test_ack_without_send_never_goes_negative():
+    recorder = SeriesRecorder()
+    recorder.process(rec(1.0, "alert_ack_verified", guard=1, accused=7, recipient=3))
+    assert recorder.get("alerts_in_flight").final == 0.0
+
+
+def test_revoked_neighbors_dedups_revokers():
+    recorder = SeriesRecorder()
+    recorder.process(rec(1.0, "guard_detection", guard=1, accused=7))
+    recorder.process(rec(2.0, "isolation", node=3, accused=7, alerts=3))
+    recorder.process(rec(3.0, "guard_detection", guard=1, accused=7))  # repeat
+    series = recorder.get("revoked_neighbors")
+    assert series.points() == [(1.0, 1.0), (2.0, 2.0)]
+    assert recorder.get("revoked[7]").points() == [(1.0, 1.0), (2.0, 2.0)]
+
+
+def test_revoked_fraction_with_neighborhood_ground_truth():
+    recorder = SeriesRecorder(neighborhoods={7: 4})
+    recorder.process(rec(1.0, "guard_detection", guard=1, accused=7))
+    recorder.process(rec(2.0, "isolation", node=3, accused=7, alerts=3))
+    assert recorder.get("revoked[7]").points() == [(1.0, 0.25), (2.0, 0.5)]
+
+
+def test_wormhole_drops_cumulative():
+    recorder = SeriesRecorder()
+    recorder.process(rec(1.0, "malicious_drop", node=7, packet=1))
+    recorder.process(rec(5.0, "malicious_drop", node=8, packet=2))
+    assert recorder.get("wormhole_drops").points() == [(1.0, 1.0), (5.0, 2.0)]
+
+
+def test_live_and_replay_produce_identical_series():
+    records = [
+        rec(1.0, "malicious_drop", node=7, packet=1),
+        rec(2.0, "malc_increment", guard=1, accused=7, value=1,
+            reason="drop", packet=1, total=1),
+        rec(3.0, "guard_detection", guard=1, accused=7),
+    ]
+    trace = TraceLog()
+    live = SeriesRecorder()
+    live.attach(trace)
+    for record in records:
+        trace.emit(record.time, record.kind, **record.fields)
+    replay = SeriesRecorder()
+    for record in records:
+        replay.process(record)
+    times = regular_times(4.0, 1.0)
+    assert series_to_json(live.series(), times) == series_to_json(
+        replay.series(), times
+    )
+
+
+def test_global_series_exist_even_when_untouched():
+    names = set(SeriesRecorder().series())
+    assert set(SeriesRecorder.GLOBAL_SERIES) <= names
+
+
+# ----------------------------------------------------------------------
+# Aggregation and export
+# ----------------------------------------------------------------------
+def test_aggregate_bands_mean_min_max():
+    a, b = Series("x"), Series("x")
+    a.add(1.0, 2.0)
+    b.add(1.0, 4.0)
+    bands = aggregate_bands([a, b], [1.0, 2.0])
+    assert bands == {"mean": [3.0, 3.0], "min": [2.0, 2.0], "max": [4.0, 4.0]}
+    with pytest.raises(ValueError):
+        aggregate_bands([], [1.0])
+
+
+def test_series_to_csv_shape():
+    a = Series("alpha")
+    a.add(1.0, 2.0)
+    text = series_to_csv({"alpha": a}, [1.0, 2.0])
+    lines = text.splitlines()
+    assert lines[0] == "time,alpha"
+    assert lines[1].startswith("1.0,")
+    assert len(lines) == 3
+
+
+def test_series_to_json_deterministic():
+    a = Series("alpha")
+    a.add(1.0, 2.0)
+    first = series_to_json({"alpha": a}, [1.0, 2.0])
+    second = series_to_json({"alpha": a}, [1.0, 2.0])
+    assert first == second
+    payload = json.loads(first)
+    assert payload["series"]["alpha"] == [2.0, 2.0]

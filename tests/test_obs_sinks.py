@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.obs.sinks import JsonlSink, MemorySink, read_jsonl, record_to_json
+from repro.obs.sinks import (
+    JsonlSink,
+    MemorySink,
+    ReadStats,
+    read_jsonl,
+    record_to_json,
+)
 from repro.sim.trace import TraceLog
 
 
@@ -128,6 +134,58 @@ def test_read_jsonl_reports_malformed_lines(tmp_path):
     path.write_text('{"time": 0.0, "kind": "ok", "fields": {}}\nnot-json\n')
     with pytest.raises(ValueError, match="bad.jsonl:2"):
         list(read_jsonl(path))
+
+
+def truncated_export(tmp_path, keep=2):
+    """A real export with its final line chopped mid-JSON, as a writer
+    killed between ``write`` and flush would leave it."""
+    path = tmp_path / "trace.jsonl"
+    trace = TraceLog()
+    trace.attach_sink(JsonlSink(path))
+    fill(trace, keep + 1)
+    trace.close_sinks()
+    text = path.read_text()
+    lines = text.splitlines(keepends=True)
+    path.write_text("".join(lines[:keep]) + lines[keep][: len(lines[keep]) // 2])
+    return path
+
+
+def test_read_jsonl_raises_on_truncated_final_line_by_default(tmp_path):
+    path = truncated_export(tmp_path)
+    with pytest.raises(ValueError, match="malformed trace line"):
+        list(read_jsonl(path))
+
+
+def test_read_jsonl_tolerate_partial_skips_and_counts(tmp_path):
+    path = truncated_export(tmp_path, keep=2)
+    stats = ReadStats()
+    records = list(read_jsonl(path, tolerate_partial=True, stats=stats))
+    assert len(records) == 2
+    assert stats.records == 2
+    assert stats.partial_lines == 1
+
+
+def test_tolerate_partial_still_rejects_midfile_corruption(tmp_path):
+    path = tmp_path / "corrupt.jsonl"
+    path.write_text(
+        '{"time": 0.0, "kind": "ok", "fie\n'
+        '{"time": 1.0, "kind": "ok", "fields": {}}\n'
+    )
+    stats = ReadStats()
+    with pytest.raises(ValueError, match="corrupt.jsonl:1"):
+        list(read_jsonl(path, tolerate_partial=True, stats=stats))
+    assert stats.partial_lines == 0
+
+
+def test_tolerate_partial_is_a_noop_on_clean_files(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    trace = TraceLog()
+    trace.attach_sink(JsonlSink(path))
+    fill(trace, 3)
+    trace.close_sinks()
+    stats = ReadStats()
+    assert len(list(read_jsonl(path, tolerate_partial=True, stats=stats))) == 3
+    assert stats.partial_lines == 0
 
 
 def test_record_to_json_is_deterministic():
