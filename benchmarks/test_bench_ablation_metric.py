@@ -26,7 +26,7 @@ BASE = ScenarioConfig(
     seed=6,
     attack_mode="encapsulation",
     attack_start=40.0,
-    liteworp_enabled=False,  # isolate the routing-metric effect
+    defense="none",  # isolate the routing-metric effect
     encap_hop_delay=0.30,  # ~ the flood's per-hop latency (jitter mean + MAC)
 )
 

@@ -7,10 +7,10 @@ unprotected network against one running LITEWORP.
 Run:  python examples/quickstart.py
 """
 
-from repro import ScenarioConfig, build_scenario
+from repro.api import ScenarioConfig, build_scenario
 
 
-def run(liteworp_enabled: bool):
+def run(defense: str):
     config = ScenarioConfig(
         n_nodes=50,
         duration=240.0,
@@ -18,7 +18,7 @@ def run(liteworp_enabled: bool):
         attack_mode="outofband",
         n_malicious=2,
         attack_start=40.0,
-        liteworp_enabled=liteworp_enabled,
+        defense=defense,
     )
     scenario = build_scenario(config)
     report = scenario.run()
@@ -29,8 +29,8 @@ def main() -> None:
     print("LITEWORP quickstart — out-of-band wormhole, 50 nodes, 240 s")
     print()
 
-    base_scenario, base = run(liteworp_enabled=False)
-    lw_scenario, protected = run(liteworp_enabled=True)
+    base_scenario, base = run(defense="none")
+    lw_scenario, protected = run(defense="liteworp")
 
     print(f"colluders: {base_scenario.malicious_ids}")
     print()

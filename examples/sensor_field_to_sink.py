@@ -10,7 +10,7 @@ guarding the field.
 Run:  python examples/sensor_field_to_sink.py
 """
 
-from repro import ScenarioConfig, build_scenario
+from repro.api import ScenarioConfig, build_scenario
 from repro.net.radio import distance
 from repro.sim.timers import PeriodicTimer
 
@@ -33,7 +33,7 @@ def pick_wormhole(scenario, sink):
 
 
 def main() -> None:
-    for liteworp_enabled in (False, True):
+    for defense in ("none", "liteworp"):
         config = ScenarioConfig(
             n_nodes=60,
             duration=300.0,
@@ -41,7 +41,7 @@ def main() -> None:
             attack_mode="outofband",
             n_malicious=2,
             attack_start=60.0,
-            liteworp_enabled=liteworp_enabled,
+            defense=defense,
         )
         scenario = build_scenario(config)
 
@@ -65,7 +65,7 @@ def main() -> None:
         scenario.sim.run(until=config.duration)
         report = scenario.metrics.report(duration=config.duration)
 
-        tag = "LITEWORP" if liteworp_enabled else "baseline"
+        tag = "LITEWORP" if defense == "liteworp" else "baseline"
         print(f"\n--- sensor field -> sink, {tag} ---")
         print(f"sink: node {sink}; colluders: {scenario.malicious_ids}")
         print(f"readings originated: {report.originated}")
@@ -73,7 +73,7 @@ def main() -> None:
               f"({100 * report.delivered / max(1, report.originated):.1f}%)")
         print(f"swallowed by wormhole: {report.wormhole_drops}")
         print(f"routes through wormhole: {report.malicious_routes}/{report.routes_established}")
-        if liteworp_enabled and report.isolation_times:
+        if defense == "liteworp" and report.isolation_times:
             for node in sorted(report.isolation_times):
                 print(f"colluder {node} isolated after "
                       f"{report.isolation_latency(node):.1f} s")

@@ -47,7 +47,7 @@ def main() -> int:
                         attack_mode=mode,
                         n_malicious=m if mode != "none" else 0,
                         attack_start=50.0,
-                        liteworp_enabled=liteworp,
+                        defense="liteworp" if liteworp else "none",
                     ),
                 )
             )

@@ -9,10 +9,14 @@ coverage and cost analysis (:mod:`repro.analysis`), and the experiment
 harness regenerating the paper's tables and figures
 (:mod:`repro.experiments`).
 
+Downstream code should reach for the stable facade in :mod:`repro.api`
+(``run`` / ``sweep`` / ``campaign`` / ``report``) rather than deep-import
+the experiment internals.
+
 Quickstart
 ----------
->>> from repro import ScenarioConfig, run_scenario
->>> report = run_scenario(ScenarioConfig(n_nodes=30, duration=120.0, seed=7))
+>>> from repro import api
+>>> report = api.run(n_nodes=30, duration=120.0, seed=7)
 >>> report.wormhole_drops >= 0
 True
 """

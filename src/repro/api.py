@@ -1,0 +1,170 @@
+"""Stable public API facade.
+
+Everything a downstream caller needs lives here under names that will not
+move when the internals are refactored: deep imports of
+``repro.experiments.*`` / ``repro.obs.*`` are an implementation detail,
+``repro.api`` is the contract.
+
+    from repro import api
+
+    report = api.run(api.ScenarioConfig(n_nodes=30, duration=120.0, seed=7))
+    replications = api.sweep(api.ScenarioConfig(n_nodes=30), runs=10, jobs=-1)
+    result = api.campaign("study.toml", backend="process", jobs=-1,
+                          journal="study.journal.jsonl", resume=True)
+    run_report = api.report("trace.jsonl")
+
+Four verbs, one noun family:
+
+- :func:`run` — one scenario, one :class:`MetricsReport`.
+- :func:`sweep` — N replications of one config (parallel + cached).
+- :func:`campaign` — a declarative grid of configs with journaled resume
+  (see :mod:`repro.experiments.campaign`).
+- :func:`report` — a markdown/JSON run report from a trace export.
+
+plus the config/result types those verbs exchange, re-exported under
+their canonical names.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Any, List, Mapping, Optional, Sequence, Union
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.campaign import (
+    CampaignResult,
+    CampaignSpec,
+    ExecutionBackend,
+    RetryPolicy,
+    load_spec,
+    run_campaign,
+)
+from repro.experiments.runner import SweepRunner, replication_configs
+from repro.experiments.scenario import (
+    ATTACK_MODES,
+    DEFENSES,
+    Scenario,
+    ScenarioConfig,
+    build_scenario,
+    run_scenario,
+)
+from repro.metrics.collector import MetricsReport
+from repro.obs.config import ObsConfig
+from repro.obs.report import RunReport, build_report
+from repro.sim.trace import TraceRecord
+
+
+def run(
+    config: Optional[ScenarioConfig] = None, **overrides: Any
+) -> MetricsReport:
+    """Execute one scenario and return its metrics report.
+
+    Call with a ready :class:`ScenarioConfig`, with keyword overrides on
+    top of one, or with keyword arguments alone (they construct the
+    config)::
+
+        api.run(n_nodes=30, duration=120.0, seed=7)
+        api.run(base_config, seed=11)
+    """
+    if config is None:
+        config = ScenarioConfig(**overrides)
+    elif overrides:
+        config = dataclasses.replace(config, **overrides)
+    return run_scenario(config)
+
+
+def sweep(
+    config: ScenarioConfig,
+    runs: int,
+    *,
+    jobs: Optional[int] = None,
+    cache: Optional[Union[ResultCache, str, Path]] = None,
+) -> List[MetricsReport]:
+    """Run ``runs`` independent replications of ``config``.
+
+    Replication seeds are hash-derived (index 0 is the base seed), so a
+    parallel sweep (``jobs`` workers, ``-1`` = one per CPU) returns
+    byte-identical reports to a serial one.  ``cache`` may be a
+    :class:`~repro.experiments.cache.ResultCache` or a directory path.
+    """
+    if isinstance(cache, (str, Path)):
+        cache = ResultCache(cache)
+    return SweepRunner(jobs=jobs, cache=cache).run_many(
+        replication_configs(config, runs)
+    )
+
+
+def campaign(
+    spec: Union[CampaignSpec, Mapping[str, Any], str, Path],
+    *,
+    backend: Union[str, ExecutionBackend] = "inline",
+    jobs: Optional[int] = None,
+    cache: Optional[Union[ResultCache, str, Path]] = None,
+    journal: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    retry: RetryPolicy = RetryPolicy(),
+    max_jobs: Optional[int] = None,
+) -> CampaignResult:
+    """Execute (or resume) a campaign spec; see
+    :mod:`repro.experiments.campaign` for the full semantics.
+
+    ``spec`` may be a :class:`CampaignSpec`, a spec-shaped mapping, or a
+    path to a TOML/JSON file.
+    """
+    if isinstance(cache, (str, Path)):
+        cache = ResultCache(cache)
+    return run_campaign(
+        spec,
+        backend=backend,
+        jobs=jobs,
+        cache=cache,
+        journal=journal,
+        resume=resume,
+        retry=retry,
+        max_jobs=max_jobs,
+    )
+
+
+def report(
+    source: Union[str, Path, Sequence[TraceRecord]],
+    *,
+    theta: int = 3,
+    step: Optional[float] = None,
+) -> RunReport:
+    """Build a run report from a JSONL trace export path or an in-memory
+    record sequence (``repro report`` renders the same object)."""
+    if isinstance(source, (str, Path)):
+        from repro.obs.sinks import read_jsonl
+
+        records: Sequence[TraceRecord] = list(
+            read_jsonl(source, tolerate_partial=True)
+        )
+    else:
+        records = list(source)
+    return build_report(records, theta=theta, step=step)
+
+
+__all__ = [
+    # Verbs.
+    "run",
+    "sweep",
+    "campaign",
+    "report",
+    # Scenario construction.
+    "ATTACK_MODES",
+    "DEFENSES",
+    "Scenario",
+    "ScenarioConfig",
+    "ObsConfig",
+    "build_scenario",
+    # Campaign types.
+    "CampaignResult",
+    "CampaignSpec",
+    "RetryPolicy",
+    "load_spec",
+    # Results.
+    "MetricsReport",
+    "ResultCache",
+    "RunReport",
+]

@@ -1,6 +1,6 @@
 """Microbenchmarks over the simulator's hot paths.
 
-Four benchmarks, each a pure function returning a :class:`BenchResult`
+Five benchmarks, each a pure function returning a :class:`BenchResult`
 that serialises to a ``BENCH_<name>.json`` trajectory file:
 
 - ``engine`` — raw event dispatch throughput of the discrete-event
@@ -17,6 +17,9 @@ that serialises to a ``BENCH_<name>.json`` trajectory file:
 - ``trace`` — per-record ``TraceLog.emit`` cost with no sink attached,
   a :class:`MemorySink`, a :class:`JsonlSink`, and in bounded ring
   mode — the observability tax on the simulator's hottest call.
+- ``campaign`` — the campaign orchestrator's tax over a raw scenario
+  loop (journal appends, aggregation, progress accounting) and the
+  replay speed of a journal-only resume.
 
 Timing numbers are environment-dependent by nature; correctness flags
 (``byte_identical``) are not.  CI runs the suite in quick mode and only
@@ -390,11 +393,108 @@ def bench_trace(quick: bool = True) -> BenchResult:
     )
 
 
+# ----------------------------------------------------------------------
+# Campaign: orchestration + journal overhead over a raw loop
+# ----------------------------------------------------------------------
+def bench_campaign(quick: bool = True) -> BenchResult:
+    """Campaign harness tax: journaled campaign vs a raw scenario loop.
+
+    Runs the same job grid three ways over identical configs:
+
+    1. **raw** — a bare ``run_scenario`` loop, no journal, no aggregate
+       (the floor every campaign feature is priced against);
+    2. **campaign-cold** — the inline backend with a JSONL journal,
+       progress accounting, and aggregation;
+    3. **campaign-resume** — a second run over the finished journal:
+       every job replayed from disk, zero simulations.
+
+    Correctness flag: the resumed aggregate must be byte-identical to
+    the cold one, and the cold aggregate must equal the one recomputed
+    from the raw loop's reports (``byte_identical``).
+    """
+    import tempfile
+
+    from repro.experiments.campaign import (
+        CampaignSpec,
+        aggregate_campaign,
+        compile_campaign,
+        run_campaign,
+    )
+    from repro.experiments.scenario import run_scenario
+
+    runs = 2 if quick else 5
+    nodes = (16, 20) if quick else (16, 20, 24)
+    spec = CampaignSpec(
+        name="bench",
+        base=ScenarioConfig(n_nodes=16, duration=30.0, seed=4, attack_start=10.0),
+        axes=(("n_nodes", tuple(nodes)),),
+        runs=runs,
+    )
+    jobs = compile_campaign(spec)
+
+    samples: List[Dict[str, object]] = []
+    raw_started = time.perf_counter()
+    raw_reports: Dict[int, object] = {}
+    for job in jobs:
+        job_started = time.perf_counter()
+        raw_reports[job.index] = run_scenario(job.config)
+        samples.append(
+            {
+                "phase": "raw",
+                "index": job.index,
+                "n_nodes": job.config.n_nodes,
+                "seed": job.config.seed,
+                "seconds": time.perf_counter() - job_started,
+            }
+        )
+    raw_seconds = time.perf_counter() - raw_started
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-campaign-") as temp:
+        journal = pathlib.Path(temp) / "bench.journal.jsonl"
+        cold_started = time.perf_counter()
+        cold = run_campaign(spec, journal=journal)
+        cold_seconds = time.perf_counter() - cold_started
+        samples.append(
+            {"phase": "campaign_cold", "executed": cold.executed,
+             "seconds": cold_seconds}
+        )
+        resume_started = time.perf_counter()
+        resumed = run_campaign(spec, journal=journal, resume=True)
+        resume_seconds = time.perf_counter() - resume_started
+        samples.append(
+            {"phase": "campaign_resume", "from_journal": resumed.from_journal,
+             "seconds": resume_seconds}
+        )
+
+    raw_aggregate = aggregate_campaign(spec, jobs, raw_reports)
+    byte_identical = (
+        resumed.executed == 0
+        and json.dumps(cold.aggregate, sort_keys=True)
+        == json.dumps(resumed.aggregate, sort_keys=True)
+        and json.dumps(cold.aggregate, sort_keys=True)
+        == json.dumps(raw_aggregate, sort_keys=True)
+    )
+    return BenchResult(
+        name="campaign",
+        params={"quick": quick, "jobs": len(jobs), "runs_per_point": runs,
+                "points": len(nodes)},
+        samples=samples,
+        metrics={
+            "raw_seconds": raw_seconds,
+            "campaign_seconds": cold_seconds,
+            "resume_seconds": resume_seconds,
+            "overhead_per_job_ms": 1e3 * (cold_seconds - raw_seconds) / len(jobs),
+            "byte_identical": byte_identical,
+        },
+    )
+
+
 BENCHMARKS: Dict[str, Callable[..., BenchResult]] = {
     "engine": bench_engine,
     "channel": bench_channel,
     "sweep": bench_sweep,
     "trace": bench_trace,
+    "campaign": bench_campaign,
 }
 
 
@@ -423,7 +523,7 @@ def run_benchmarks(
             result.write(output_dir)
         if result.metrics.get("byte_identical") is False:
             raise RuntimeError(
-                "sweep benchmark: parallel/cached reports diverged from serial"
+                f"{name} benchmark: reports diverged across execution modes"
             )
         results.append(result)
     return results

@@ -3,9 +3,15 @@
 Commands
 --------
 - ``run`` — one scenario with chosen attack/defense, printing the report.
-- ``fig8`` / ``fig9`` / ``fig10`` — regenerate a simulation figure
-  (``--jobs`` fans replications across processes, ``--no-cache`` skips
-  the on-disk result cache).
+- ``figure {8,9,10}`` — regenerate a simulation figure (``--jobs`` fans
+  replications across processes, ``--no-cache`` skips the on-disk result
+  cache).  The pre-unification spellings ``fig8``/``fig9``/``fig10``
+  survive as thin deprecated aliases.
+- ``campaign`` — declarative multi-sweep batches: ``run`` executes a
+  TOML/JSON campaign spec through a pluggable backend with an append-only
+  completion journal (``--resume`` skips every journaled job and yields
+  byte-identical aggregates), ``plan`` prints the compiled job list, and
+  ``status`` summarises a journal.
 - ``fig6`` — the analytical coverage curves.
 - ``cost`` — the section-5.2 cost table.
 - ``taxonomy`` — Table 1.
@@ -98,26 +104,88 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--json", dest="json_path", default=None,
                        help="also write the metric report as JSON to this path")
 
-    fig8_p = sub.add_parser("fig8", help="cumulative dropped packets vs time")
-    fig8_p.add_argument("--nodes", type=int, default=100)
-    fig8_p.add_argument("--duration", type=float, default=300.0)
-    fig8_p.add_argument("--runs", type=int, default=1)
-    fig8_p.add_argument("--seed", type=int, default=8)
-    add_sweep_options(fig8_p)
+    def add_figure_options(sub_parser: argparse.ArgumentParser) -> None:
+        """The one flag set every figure command shares.
 
-    fig9_p = sub.add_parser("fig9", help="fractions vs number of compromised nodes")
-    fig9_p.add_argument("--nodes", type=int, default=100)
-    fig9_p.add_argument("--duration", type=float, default=300.0)
-    fig9_p.add_argument("--runs", type=int, default=1)
-    fig9_p.add_argument("--seed", type=int, default=8)
-    add_sweep_options(fig9_p)
+        ``nodes``/``duration``/``runs`` default to None here; the handler
+        fills per-figure defaults (see ``_FIGURE_DEFAULTS``) so the
+        unified command and the deprecated aliases behave identically.
+        """
+        sub_parser.add_argument("--nodes", type=int, default=None)
+        sub_parser.add_argument("--duration", type=float, default=None)
+        sub_parser.add_argument("--runs", type=int, default=None)
+        sub_parser.add_argument("--seed", type=int, default=8)
+        add_sweep_options(sub_parser)
 
-    fig10_p = sub.add_parser("fig10", help="detection probability / latency vs theta")
-    fig10_p.add_argument("--nodes", type=int, default=60)
-    fig10_p.add_argument("--duration", type=float, default=250.0)
-    fig10_p.add_argument("--runs", type=int, default=2)
-    fig10_p.add_argument("--seed", type=int, default=8)
-    add_sweep_options(fig10_p)
+    figure_p = sub.add_parser(
+        "figure", help="regenerate a simulation figure from the paper"
+    )
+    figure_p.add_argument("number", choices=("8", "9", "10"),
+                          help="which figure to regenerate")
+    add_figure_options(figure_p)
+
+    # Deprecated aliases for the unified ``figure`` command; each prints a
+    # one-line stderr notice and delegates.
+    for number, legacy_help in (
+        ("8", "cumulative dropped packets vs time"),
+        ("9", "fractions vs number of compromised nodes"),
+        ("10", "detection probability / latency vs theta"),
+    ):
+        legacy_p = sub.add_parser(
+            f"fig{number}", help=f"[deprecated: use 'figure {number}'] {legacy_help}"
+        )
+        add_figure_options(legacy_p)
+
+    campaign_p = sub.add_parser(
+        "campaign", help="resumable multi-sweep campaigns from a declarative spec"
+    )
+    campaign_sub = campaign_p.add_subparsers(dest="campaign_command", required=True)
+
+    crun_p = campaign_sub.add_parser(
+        "run", help="execute a TOML/JSON campaign spec (journaled, resumable)"
+    )
+    crun_p.add_argument("spec", help="campaign spec file (.toml or .json)")
+    crun_p.add_argument("--backend", choices=("inline", "process", "thread"),
+                        default="inline",
+                        help="execution backend (default inline)")
+    crun_p.add_argument("--jobs", type=int, default=0, metavar="N",
+                        help="workers for process/thread backends "
+                             "(0/1 serial, -1 one per CPU)")
+    crun_p.add_argument("--journal", default=None, metavar="FILE",
+                        help="completion journal path (default: next to the "
+                             "spec as <spec>.journal.jsonl)")
+    crun_p.add_argument("--no-journal", dest="journaled", action="store_false",
+                        help="disable the completion journal (and resume)")
+    crun_p.add_argument("--resume", action="store_true",
+                        help="skip every job the journal already records")
+    crun_p.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                        help="execute at most N new jobs, then stop "
+                             "(exit 75; resume later with --resume)")
+    crun_p.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="per-job retries on worker crash (default 2)")
+    crun_p.add_argument("--no-cache", dest="use_cache", action="store_false",
+                        help="do not read or write the on-disk result cache")
+    crun_p.add_argument("--cache-dir", default=".repro-cache",
+                        help="result cache directory (default .repro-cache)")
+    crun_p.add_argument("--out", default=None, metavar="FILE",
+                        help="write the aggregate JSON to this path")
+    crun_p.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="stream campaign_job progress records to this JSONL file")
+    crun_p.add_argument("--quiet", action="store_true",
+                        help="suppress per-job progress lines on stderr")
+
+    cplan_p = campaign_sub.add_parser(
+        "plan", help="compile a spec and print its job list without running"
+    )
+    cplan_p.add_argument("spec", help="campaign spec file (.toml or .json)")
+
+    cstatus_p = campaign_sub.add_parser(
+        "status", help="summarise a campaign journal"
+    )
+    cstatus_p.add_argument("journal", help="campaign journal (JSONL)")
+    cstatus_p.add_argument("--spec", default=None,
+                           help="spec file to compare against (reports "
+                                "remaining jobs and digest match)")
 
     bench_p = sub.add_parser("bench", help="microbenchmark suite; writes BENCH_*.json")
     bench_p.add_argument("--full", action="store_true",
@@ -126,7 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="worker processes for the sweep benchmark")
     bench_p.add_argument("--only", action="append", default=None, metavar="NAME",
                          help="run one benchmark (repeatable): engine, channel, "
-                              "sweep, trace")
+                              "sweep, trace, campaign")
     bench_p.add_argument("--output-dir", default="benchmarks/output",
                          help="where BENCH_*.json files land (default benchmarks/output)")
 
@@ -281,24 +349,190 @@ def _sweep_kwargs(args: argparse.Namespace) -> dict:
     return {"jobs": args.jobs or None, "cache": cache, "obs": obs}
 
 
-def _cmd_fig8(args: argparse.Namespace) -> int:
-    base = ScenarioConfig(n_nodes=args.nodes, duration=args.duration,
-                          seed=args.seed, attack_start=50.0)
-    print(run_fig8(base=base, runs=args.runs, **_sweep_kwargs(args)).format())
+#: Per-figure defaults for the unified ``figure`` command (and aliases).
+_FIGURE_DEFAULTS = {
+    "8": {"nodes": 100, "duration": 300.0, "runs": 1},
+    "9": {"nodes": 100, "duration": 300.0, "runs": 1},
+    "10": {"nodes": 60, "duration": 250.0, "runs": 2},
+}
+
+
+def _run_figure(number: str, args: argparse.Namespace) -> int:
+    """Shared body of ``figure N`` and the deprecated ``figN`` aliases."""
+    defaults = _FIGURE_DEFAULTS[number]
+    nodes = args.nodes if args.nodes is not None else defaults["nodes"]
+    duration = args.duration if args.duration is not None else defaults["duration"]
+    runs = args.runs if args.runs is not None else defaults["runs"]
+    if number == "10":
+        base = ScenarioConfig(n_nodes=nodes, avg_neighbors=15.0,
+                              duration=duration, seed=args.seed, attack_start=50.0)
+    else:
+        base = ScenarioConfig(n_nodes=nodes, duration=duration,
+                              seed=args.seed, attack_start=50.0)
+    runner = {"8": run_fig8, "9": run_fig9, "10": run_fig10}[number]
+    print(runner(base=base, runs=runs, **_sweep_kwargs(args)).format())
     return 0
 
 
-def _cmd_fig9(args: argparse.Namespace) -> int:
-    base = ScenarioConfig(n_nodes=args.nodes, duration=args.duration,
-                          seed=args.seed, attack_start=50.0)
-    print(run_fig9(base=base, runs=args.runs, **_sweep_kwargs(args)).format())
+def _cmd_figure(args: argparse.Namespace) -> int:
+    return _run_figure(args.number, args)
+
+
+def _make_legacy_figure_cmd(number: str):
+    def handler(args: argparse.Namespace) -> int:
+        print(f"note: 'fig{number}' is deprecated; use 'repro figure {number}'",
+              file=sys.stderr)
+        return _run_figure(number, args)
+
+    return handler
+
+
+_cmd_fig8 = _make_legacy_figure_cmd("8")
+_cmd_fig9 = _make_legacy_figure_cmd("9")
+_cmd_fig10 = _make_legacy_figure_cmd("10")
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    handlers = {
+        "run": _campaign_run,
+        "plan": _campaign_plan,
+        "status": _campaign_status,
+    }
+    return handlers[args.campaign_command](args)
+
+
+def _campaign_run(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.experiments.campaign import (
+        CampaignError,
+        RetryPolicy,
+        load_spec,
+        make_backend,
+        run_campaign,
+    )
+    from repro.obs.progress import CampaignProgress
+
+    try:
+        spec = load_spec(args.spec)
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    journal = None
+    if args.journaled:
+        journal = args.journal or str(
+            pathlib.Path(args.spec).with_suffix(".journal.jsonl")
+        )
+    elif args.resume:
+        print("error: --resume needs a journal (drop --no-journal)", file=sys.stderr)
+        return 1
+
+    cache = None
+    if args.use_cache:
+        from repro.experiments.cache import ResultCache
+
+        cache = ResultCache(args.cache_dir)
+
+    progress = None
+    if not args.quiet:
+        progress = CampaignProgress(
+            printer=lambda line: print(line, file=sys.stderr)
+        )
+
+    trace = None
+    if args.trace_out is not None:
+        from repro.obs.sinks import JsonlSink
+        from repro.sim.trace import TraceLog
+
+        trace = TraceLog()
+        trace.attach_sink(JsonlSink(args.trace_out, append=True, run=spec.name))
+
+    try:
+        result = run_campaign(
+            spec,
+            backend=make_backend(args.backend, jobs=args.jobs or None),
+            cache=cache,
+            journal=journal,
+            resume=args.resume,
+            retry=RetryPolicy(retries=args.retries),
+            progress=progress,
+            trace=trace,
+            max_jobs=args.max_jobs,
+        )
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if trace is not None:
+            trace.close_sinks()
+
+    if not result.complete:
+        print(result.format())
+        print(f"campaign stopped after --max-jobs {args.max_jobs}; "
+              f"{result.completed_jobs}/{result.total_jobs} jobs journaled — "
+              f"rerun with --resume to finish", file=sys.stderr)
+        return 75  # EX_TEMPFAIL: partial progress, safe to resume
+    print(result.format())
+    if args.out:
+        path = pathlib.Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(result.to_json())
+        print(f"aggregate JSON written to {path}", file=sys.stderr)
     return 0
 
 
-def _cmd_fig10(args: argparse.Namespace) -> int:
-    base = ScenarioConfig(n_nodes=args.nodes, avg_neighbors=15.0,
-                          duration=args.duration, seed=args.seed, attack_start=50.0)
-    print(run_fig10(base=base, runs=args.runs, **_sweep_kwargs(args)).format())
+def _campaign_plan(args: argparse.Namespace) -> int:
+    from repro.experiments.campaign import CampaignError, compile_campaign, load_spec
+
+    try:
+        spec = load_spec(args.spec)
+        jobs = compile_campaign(spec)
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"campaign {spec.name}: {len(jobs)} job(s) "
+          f"({len(spec.points())} point(s) x {spec.runs} run(s)), "
+          f"spec {spec.digest()[:12]}")
+    for job in jobs:
+        print(f"  [{job.index:4d}] {job.digest[:12]}  seed={job.config.seed:<20d} "
+              f"{job.label()}")
+    return 0
+
+
+def _campaign_status(args: argparse.Namespace) -> int:
+    from repro.experiments.campaign import (
+        CampaignError,
+        compile_campaign,
+        load_journal,
+        load_spec,
+    )
+
+    try:
+        state = load_journal(args.journal, tolerate_partial=True)
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    spec_digest = state.spec_digest[:12] if state.spec_digest else "unknown"
+    print(f"journal {args.journal}: {len(state)} completed job(s), "
+          f"spec {spec_digest}")
+    if state.partial_lines:
+        print(f"warning: skipped {state.partial_lines} partial trailing line "
+              f"(campaign was killed mid-append)", file=sys.stderr)
+    if args.spec:
+        try:
+            spec = load_spec(args.spec)
+            jobs = compile_campaign(spec)
+        except CampaignError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if state.spec_digest is not None and state.spec_digest != spec.digest():
+            print(f"spec mismatch: journal records {spec_digest}, "
+                  f"spec compiles to {spec.digest()[:12]}", file=sys.stderr)
+            return 1
+        done = sum(1 for job in jobs if job.digest in state.reports)
+        print(f"spec {spec.name}: {done}/{len(jobs)} job(s) journaled, "
+              f"{len(jobs) - done} remaining")
     return 0
 
 
@@ -559,9 +793,11 @@ def _cmd_taxonomy(_args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "run": _cmd_run,
+    "figure": _cmd_figure,
     "fig8": _cmd_fig8,
     "fig9": _cmd_fig9,
     "fig10": _cmd_fig10,
+    "campaign": _cmd_campaign,
     "chaos": _cmd_chaos,
     "trace": _cmd_trace,
     "report": _cmd_report,

@@ -7,8 +7,21 @@
 - :mod:`repro.experiments.figures` — the figure/table regenerators used by
   the benchmark suite (figures 8, 9, 10 from simulation; figure 6 and the
   cost table from the analysis module).
+- :mod:`repro.experiments.campaign` — declarative, journaled, resumable
+  campaign batches over the scenario grid.
+
+Downstream code should prefer the stable :mod:`repro.api` facade over
+importing from these modules directly.
 """
 
+from repro.experiments.campaign import (
+    CampaignResult,
+    CampaignRunner,
+    CampaignSpec,
+    compile_campaign,
+    load_spec,
+    run_campaign,
+)
 from repro.experiments.chaos import (
     ChaosConfig,
     ChaosResult,
@@ -35,6 +48,9 @@ from repro.experiments.figures import (
 )
 
 __all__ = [
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
     "ChaosConfig",
     "ChaosResult",
     "ExperimentRecord",
@@ -48,7 +64,10 @@ __all__ = [
     "Table2Parameters",
     "average_runs",
     "build_scenario",
+    "compile_campaign",
+    "load_spec",
     "make_chaos_plan",
+    "run_campaign",
     "run_and_record",
     "run_chaos",
     "run_fig10",

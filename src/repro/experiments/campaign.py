@@ -1,0 +1,902 @@
+"""Campaign orchestration: resumable, journaled batches of scenario sweeps.
+
+A *campaign* is a declarative description of a whole study — a base
+:class:`~repro.experiments.scenario.ScenarioConfig`, a grid of field
+overrides (``axes``), and a replication count — compiled into a flat job
+list and executed through a pluggable :class:`ExecutionBackend`.  Where a
+figure runner is one in-process ``parallel_map`` call that forgets
+everything on interruption, a campaign is built to be killed:
+
+- **Content-addressed jobs** — every job is keyed by the existing
+  :func:`~repro.experiments.cache.config_digest` of its concrete config,
+  so "is this job done?" is a pure function of the spec, independent of
+  process, host, or ordering.
+- **Append-only journal** — each completed job is appended to a JSONL
+  journal (one atomic line per job, like
+  :class:`~repro.obs.sinks.JsonlSink`) together with its full-fidelity
+  report state.  Resuming loads the journal, skips every recorded job,
+  and produces byte-identical aggregates to an uninterrupted run.
+- **Pluggable execution** — ``inline`` (serial, in-process), ``process``
+  (the :mod:`~repro.experiments.runner` worker-pool machinery), and
+  ``thread`` (for IO-bound trace-exporting jobs) backends share one
+  retry/backoff loop: a crashed worker fails only its own job, which is
+  re-dispatched up to :class:`RetryPolicy.retries` times.
+
+Specs load from TOML or JSON (:func:`load_spec`) or are built in Python;
+``repro campaign {run,plan,status}`` is the CLI surface and
+:func:`repro.api.campaign` the stable programmatic entry point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+import time
+from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.experiments.cache import ResultCache, config_digest
+from repro.experiments.runner import replication_configs, resolve_jobs, run_config
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.stats import summarize, summarize_optional
+from repro.metrics.collector import MetricsReport
+from repro.obs.progress import CampaignProgress
+from repro.obs.spans import span
+from repro.sim.trace import TraceLog
+
+#: Journal line format version (bump on shape changes; old journals are
+#: rejected with a clear error rather than misread).
+JOURNAL_VERSION = 1
+
+
+class CampaignError(RuntimeError):
+    """A campaign could not be compiled, resumed, or completed."""
+
+
+# ----------------------------------------------------------------------
+# Spec: the declarative description of a campaign
+# ----------------------------------------------------------------------
+def apply_overrides(config: ScenarioConfig, overrides: Mapping[str, Any]) -> ScenarioConfig:
+    """Return ``config`` with dotted-path field overrides applied.
+
+    ``{"n_malicious": 2}`` replaces a top-level field;
+    ``{"liteworp.theta": 4}`` recurses into the nested dataclass.  Unknown
+    field names raise :class:`CampaignError` naming the offender.
+    """
+    # Group dotted paths by head so sibling overrides of one nested config
+    # (liteworp.theta + liteworp.gamma) collapse into a single replace.
+    flat: Dict[str, Any] = {}
+    nested: Dict[str, Dict[str, Any]] = {}
+    for name in sorted(overrides):
+        value = overrides[name]
+        if "." in name:
+            head, rest = name.split(".", 1)
+            nested.setdefault(head, {})[rest] = value
+        else:
+            flat[name] = value
+    field_names = {f.name for f in dataclasses.fields(config)}
+    for name in itertools.chain(flat, nested):
+        if name not in field_names:
+            raise CampaignError(
+                f"unknown {type(config).__name__} field {name!r} in campaign overrides"
+            )
+    for head, sub in nested.items():
+        inner = getattr(config, head)
+        if not dataclasses.is_dataclass(inner):
+            raise CampaignError(
+                f"cannot apply dotted override to non-dataclass field {head!r}"
+            )
+        flat[head] = apply_overrides(inner, sub)
+    return dataclasses.replace(config, **flat)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative campaign: base config × axis grid × replications.
+
+    ``axes`` maps a (possibly dotted) :class:`ScenarioConfig` field path
+    to the sequence of values to sweep; the campaign is the cartesian
+    product over all axes in sorted-name order, each point replicated
+    ``runs`` times with hash-derived seeds.
+    """
+
+    name: str
+    base: ScenarioConfig = field(default_factory=ScenarioConfig)
+    axes: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
+    runs: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CampaignError("campaign needs a non-empty name")
+        if self.runs < 1:
+            raise CampaignError(f"runs must be at least 1, got {self.runs!r}")
+        normalized = tuple(
+            (str(axis), tuple(values)) for axis, values in sorted(self.axes)
+        )
+        for axis, values in normalized:
+            if not values:
+                raise CampaignError(f"axis {axis!r} has no values")
+        object.__setattr__(self, "axes", normalized)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CampaignSpec":
+        """Build a spec from the TOML/JSON document shape::
+
+            {"name": ..., "runs": 2,
+             "base": {"n_nodes": 30, "liteworp.theta": 4, ...},
+             "axes": {"n_malicious": [0, 2], "defense": ["none", "liteworp"]}}
+
+        ``base`` accepts dotted paths for nested configs exactly like the
+        axes do.
+        """
+        payload = dict(payload)
+        unknown = set(payload) - {"name", "base", "axes", "runs"}
+        if unknown:
+            raise CampaignError(f"unknown campaign spec key(s) {sorted(unknown)}")
+        if "name" not in payload:
+            raise CampaignError("campaign spec needs a 'name'")
+        try:
+            base = apply_overrides(ScenarioConfig(), dict(payload.get("base", {})))
+        except (TypeError, ValueError) as exc:
+            raise CampaignError(f"bad campaign base config: {exc}") from exc
+        axes_raw = payload.get("axes", {})
+        axes = tuple((name, tuple(values)) for name, values in axes_raw.items())
+        return cls(
+            name=str(payload["name"]),
+            base=base,
+            axes=axes,
+            runs=int(payload.get("runs", 1)),
+        )
+
+    def axes_dict(self) -> Dict[str, Tuple[Any, ...]]:
+        """The axis grid as a plain mapping (sorted by axis name)."""
+        return dict(self.axes)
+
+    def points(self) -> List[Tuple[Tuple[str, Any], ...]]:
+        """Every sweep point as a tuple of ``(axis, value)`` pairs, in
+        deterministic grid order (axes sorted by name, values as given)."""
+        if not self.axes:
+            return [()]
+        names = [axis for axis, _ in self.axes]
+        grids = [values for _, values in self.axes]
+        return [
+            tuple(zip(names, combo)) for combo in itertools.product(*grids)
+        ]
+
+    def digest(self) -> str:
+        """Stable identity of this spec (guards journal/resume mismatches)."""
+        return config_digest(
+            {
+                "campaign": self.name,
+                "base": self.base,
+                "axes": {axis: list(values) for axis, values in self.axes},
+                "runs": self.runs,
+            }
+        )
+
+
+def load_spec(path: Union[str, Path]) -> CampaignSpec:
+    """Load a campaign spec from a ``.toml`` or ``.json`` file."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise CampaignError(f"cannot read campaign spec {path}: {exc}") from exc
+    if path.suffix.lower() == ".toml":
+        import tomllib
+
+        try:
+            payload = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise CampaignError(f"{path}: invalid TOML: {exc}") from exc
+    else:
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CampaignError(f"{path}: invalid JSON: {exc}") from exc
+    if not isinstance(payload, Mapping):
+        raise CampaignError(f"{path}: campaign spec must be a table/object")
+    return CampaignSpec.from_dict(payload)
+
+
+# ----------------------------------------------------------------------
+# Compilation: spec -> content-addressed job list
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CampaignJob:
+    """One concrete simulation of the campaign, keyed by config digest."""
+
+    index: int
+    point: Tuple[Tuple[str, Any], ...]
+    replication: int
+    config: ScenarioConfig
+    digest: str
+
+    def label(self) -> str:
+        """Human-readable ``axis=value,... #rep`` tag."""
+        point = ",".join(f"{axis}={value}" for axis, value in self.point) or "-"
+        return f"{point} #{self.replication}"
+
+
+def compile_campaign(spec: CampaignSpec) -> List[CampaignJob]:
+    """Expand ``spec`` into its flat, deterministic job list.
+
+    Point order is the sorted-axis cartesian product; within a point,
+    replications use the hash-derived child seeds of
+    :func:`~repro.experiments.runner.replication_configs`.
+    """
+    with span("campaign.compile"):
+        jobs: List[CampaignJob] = []
+        for point in spec.points():
+            try:
+                point_config = apply_overrides(spec.base, dict(point))
+            except (TypeError, ValueError) as exc:
+                raise CampaignError(
+                    f"invalid sweep point {dict(point)!r}: {exc}"
+                ) from exc
+            for replication, config in enumerate(
+                replication_configs(point_config, spec.runs)
+            ):
+                jobs.append(
+                    CampaignJob(
+                        index=len(jobs),
+                        point=point,
+                        replication=replication,
+                        config=config,
+                        digest=config_digest(config),
+                    )
+                )
+        return jobs
+
+
+# ----------------------------------------------------------------------
+# Journal: append-only completion log
+# ----------------------------------------------------------------------
+@dataclass
+class JournalState:
+    """Parsed journal contents (see :func:`load_journal`)."""
+
+    spec_digest: Optional[str] = None
+    total_jobs: Optional[int] = None
+    reports: Dict[str, MetricsReport] = field(default_factory=dict)
+    partial_lines: int = 0
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+
+class CampaignJournal:
+    """Append-only JSONL journal of completed campaign jobs.
+
+    Opened lazily in line-buffered append mode, so every entry is one
+    atomic ``O_APPEND`` write — a campaign killed mid-append leaves at
+    worst a truncated final line, which :func:`load_journal` tolerates.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle = None
+        self.entries_written = 0
+
+    def _append(self, payload: Dict[str, Any]) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", buffering=1, encoding="utf-8")
+        self._handle.write(json.dumps(payload, separators=(",", ":"), sort_keys=True) + "\n")
+        self.entries_written += 1
+
+    def begin(self, spec: CampaignSpec, total_jobs: int) -> None:
+        """Record a (re)start: spec identity + compiled job count."""
+        with span("campaign.journal"):
+            self._append(
+                {
+                    "event": "begin",
+                    "version": JOURNAL_VERSION,
+                    "campaign": spec.name,
+                    "spec": spec.digest(),
+                    "jobs": total_jobs,
+                }
+            )
+
+    def record(self, job: CampaignJob, report: MetricsReport) -> None:
+        """Record one completed job with its full-fidelity report state."""
+        with span("campaign.journal"):
+            self._append(
+                {
+                    "event": "complete",
+                    "digest": job.digest,
+                    "index": job.index,
+                    "point": {axis: value for axis, value in job.point},
+                    "replication": job.replication,
+                    "seed": job.config.seed,
+                    "report": report.to_state(),
+                }
+            )
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def load_journal(
+    path: Union[str, Path], tolerate_partial: bool = True
+) -> JournalState:
+    """Parse a campaign journal back into completed-job reports.
+
+    A truncated *final* line (the writer was killed mid-append) is
+    skipped and counted when ``tolerate_partial`` is set; mid-file
+    corruption and version/spec mismatches raise :class:`CampaignError`.
+    """
+    path = Path(path)
+    state = JournalState()
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except OSError as exc:
+        raise CampaignError(f"cannot read campaign journal {path}: {exc}") from exc
+    with handle:
+        for lineno, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                payload = json.loads(stripped)
+            except json.JSONDecodeError as exc:
+                if tolerate_partial and not handle.read().strip():
+                    state.partial_lines += 1
+                    break
+                raise CampaignError(
+                    f"{path}:{lineno}: corrupt journal line: {exc}"
+                ) from exc
+            event = payload.get("event")
+            if event == "begin":
+                version = payload.get("version")
+                if version != JOURNAL_VERSION:
+                    raise CampaignError(
+                        f"{path}:{lineno}: journal version {version!r} "
+                        f"(this build writes {JOURNAL_VERSION})"
+                    )
+                spec_digest = payload.get("spec")
+                if state.spec_digest is not None and spec_digest != state.spec_digest:
+                    raise CampaignError(
+                        f"{path}:{lineno}: journal mixes two campaign specs"
+                    )
+                state.spec_digest = spec_digest
+                state.total_jobs = payload.get("jobs")
+            elif event == "complete":
+                try:
+                    report = MetricsReport.from_state(payload["report"])
+                    digest = payload["digest"]
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise CampaignError(
+                        f"{path}:{lineno}: malformed completion entry: {exc}"
+                    ) from exc
+                state.reports[digest] = report
+            else:
+                raise CampaignError(
+                    f"{path}:{lineno}: unknown journal event {event!r}"
+                )
+    return state
+
+
+# ----------------------------------------------------------------------
+# Execution backends
+# ----------------------------------------------------------------------
+#: Worker signature: one concrete config in, its report out.
+JobFn = Callable[[ScenarioConfig], MetricsReport]
+
+
+class ExecutionBackend:
+    """How one wave of campaign jobs is executed.
+
+    ``run_batch`` maps ``fn`` over ``(key, config)`` items and *never
+    raises for a job failure*: it returns per-key results and per-key
+    exceptions so the campaign's retry loop can re-dispatch exactly the
+    failed jobs.
+    """
+
+    name = "abstract"
+
+    def run_batch(
+        self, fn: JobFn, items: Sequence[Tuple[int, ScenarioConfig]]
+    ) -> Tuple[Dict[int, MetricsReport], Dict[int, BaseException]]:
+        raise NotImplementedError
+
+
+class InlineBackend(ExecutionBackend):
+    """Serial in-process execution — the deterministic reference backend."""
+
+    name = "inline"
+
+    def run_batch(self, fn, items):
+        results: Dict[int, MetricsReport] = {}
+        failures: Dict[int, BaseException] = {}
+        for key, config in items:
+            try:
+                results[key] = fn(config)
+            except Exception as exc:  # noqa: BLE001 - collected for retry
+                failures[key] = exc
+        return results, failures
+
+
+class _PoolBackend(ExecutionBackend):
+    """Shared future-juggling for the executor-based backends."""
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = jobs
+
+    def _make_executor(self, workers: int) -> Executor:
+        raise NotImplementedError
+
+    def run_batch(self, fn, items):
+        results: Dict[int, MetricsReport] = {}
+        failures: Dict[int, BaseException] = {}
+        if not items:
+            return results, failures
+        workers = min(resolve_jobs(self.jobs), len(items))
+        executor = self._make_executor(max(1, workers))
+        try:
+            futures = {executor.submit(fn, config): key for key, config in items}
+            pending = set(futures)
+            while pending:
+                try:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                except BaseException:
+                    # The pool itself died (e.g. BrokenProcessPool while
+                    # waiting): everything unfinished becomes a failure.
+                    break
+                for future in done:
+                    key = futures[future]
+                    try:
+                        results[key] = future.result()
+                    except Exception as exc:  # noqa: BLE001 - collected for retry
+                        failures[key] = exc
+            for future, key in futures.items():
+                if key not in results and key not in failures:
+                    exc = future.exception() if future.done() else None
+                    failures[key] = exc or CampaignError(
+                        "worker pool broke before the job finished"
+                    )
+        finally:
+            # A broken pool is discarded wholesale; the next wave gets a
+            # fresh one.
+            executor.shutdown(wait=False, cancel_futures=True)
+        return results, failures
+
+
+class ProcessBackend(_PoolBackend):
+    """Process-pool execution via the sweep runner's worker machinery.
+
+    Jobs are dispatched to :func:`repro.experiments.runner.run_config`
+    (the same picklable worker body ``SweepRunner`` fans out over), one
+    future per job so a crashed worker fails only its own job.
+    """
+
+    name = "process"
+
+    def _make_executor(self, workers: int) -> Executor:
+        return ProcessPoolExecutor(max_workers=workers)
+
+
+class ThreadBackend(_PoolBackend):
+    """Thread-pool execution for IO-bound jobs (e.g. trace-exporting
+    configs whose wall clock is dominated by JSONL appends)."""
+
+    name = "thread"
+
+    def _make_executor(self, workers: int) -> Executor:
+        return ThreadPoolExecutor(max_workers=workers)
+
+
+BACKENDS: Dict[str, Callable[..., ExecutionBackend]] = {
+    "inline": lambda jobs=None: InlineBackend(),
+    "process": ProcessBackend,
+    "thread": ThreadBackend,
+}
+
+
+def make_backend(name: str, jobs: Optional[int] = None) -> ExecutionBackend:
+    """Instantiate a backend by name (``inline``, ``process``, ``thread``)."""
+    try:
+        factory = BACKENDS[name]
+    except KeyError:
+        raise CampaignError(
+            f"unknown backend {name!r}; choose from {sorted(BACKENDS)}"
+        ) from None
+    return factory(jobs=jobs)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-job retry with exponential backoff between waves."""
+
+    retries: int = 2
+    backoff: float = 0.1
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be non-negative, got {self.retries!r}")
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be non-negative, got {self.backoff!r}")
+
+    def delay(self, attempt: int) -> float:
+        """Sleep before retry wave ``attempt`` (1-based)."""
+        return self.backoff * (self.multiplier ** max(0, attempt - 1))
+
+
+# ----------------------------------------------------------------------
+# Aggregation + result
+# ----------------------------------------------------------------------
+def _summary_dict(summary) -> Dict[str, object]:
+    return {"mean": summary.mean, "std": summary.std, "count": summary.count}
+
+
+def aggregate_campaign(
+    spec: CampaignSpec, jobs: Sequence[CampaignJob], reports: Mapping[int, MetricsReport]
+) -> Dict[str, object]:
+    """Per-point metric summaries over every replication.
+
+    Pure function of the reports: running the same campaign twice — or
+    interrupting and resuming it — yields byte-identical JSON.
+    """
+    points: List[Dict[str, object]] = []
+    by_point: Dict[Tuple[Tuple[str, Any], ...], List[MetricsReport]] = {}
+    order: List[Tuple[Tuple[str, Any], ...]] = []
+    for job in jobs:
+        if job.point not in by_point:
+            by_point[job.point] = []
+            order.append(job.point)
+        by_point[job.point].append(reports[job.index])
+    for point in order:
+        group = by_point[point]
+        metrics = {
+            "originated": _summary_dict(summarize([r.originated for r in group])),
+            "delivered": _summary_dict(summarize([r.delivered for r in group])),
+            "wormhole_drops": _summary_dict(summarize([r.wormhole_drops for r in group])),
+            "fraction_wormhole_dropped": _summary_dict(
+                summarize([r.fraction_wormhole_dropped for r in group])
+            ),
+            "fraction_malicious_routes": _summary_dict(
+                summarize([r.fraction_malicious_routes for r in group])
+            ),
+            "detections": _summary_dict(summarize([r.detections for r in group])),
+            "isolations": _summary_dict(summarize([r.isolations for r in group])),
+            "mean_isolation_latency": _summary_dict(
+                summarize_optional([r.mean_isolation_latency() for r in group])
+            ),
+            "mean_detection_latency": _summary_dict(
+                summarize_optional([r.mean_detection_latency() for r in group])
+            ),
+        }
+        points.append(
+            {
+                "point": {axis: value for axis, value in point},
+                "jobs": len(group),
+                "metrics": metrics,
+            }
+        )
+    return {
+        "campaign": spec.name,
+        "spec": spec.digest(),
+        "runs": spec.runs,
+        "points": points,
+    }
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one :meth:`CampaignRunner.run` invocation."""
+
+    spec: CampaignSpec
+    total_jobs: int
+    executed: int
+    from_cache: int
+    from_journal: int
+    retried: int
+    complete: bool
+    aggregate: Optional[Dict[str, object]] = None
+
+    @property
+    def completed_jobs(self) -> int:
+        return self.executed + self.from_cache + self.from_journal
+
+    def to_json(self) -> str:
+        """Deterministic aggregate JSON (the campaign's published output)."""
+        if self.aggregate is None:
+            raise CampaignError("campaign is incomplete; no aggregate to render")
+        return json.dumps(self.aggregate, indent=2, sort_keys=True) + "\n"
+
+    def format(self) -> str:
+        """Stable one-screen text summary."""
+        lines = [
+            f"campaign {self.spec.name}"
+            f" jobs={self.total_jobs}"
+            f" executed={self.executed}"
+            f" cache={self.from_cache}"
+            f" journal={self.from_journal}"
+            f" retried={self.retried}"
+            f" complete={'yes' if self.complete else 'no'}",
+        ]
+        if self.aggregate is not None:
+            for entry in self.aggregate["points"]:
+                point = ",".join(f"{k}={v}" for k, v in entry["point"].items()) or "-"
+                drops = entry["metrics"]["fraction_wormhole_dropped"]["mean"]
+                routes = entry["metrics"]["fraction_malicious_routes"]["mean"]
+                lines.append(
+                    f"  {point:<40s} drop={drops:.4f} malroutes={routes:.4f}"
+                    f" (n={entry['jobs']})"
+                )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# The orchestrator
+# ----------------------------------------------------------------------
+class CampaignRunner:
+    """Compiles and executes a campaign with journaling, caching, and retry.
+
+    Parameters
+    ----------
+    spec:
+        The campaign to run.
+    backend:
+        An :class:`ExecutionBackend` instance (default: inline).
+    cache:
+        Optional :class:`~repro.experiments.cache.ResultCache`; consulted
+        before dispatch and populated after every executed job.  Jobs that
+        stream a trace export bypass cache reads (their records must hit
+        the sink), matching ``SweepRunner`` semantics.
+    journal_path:
+        Where to append the completion journal; None disables journaling
+        (and therefore resume).
+    resume:
+        Load the journal first and skip every job it records.  The
+        journal's spec digest must match ``spec``.
+    retry:
+        Per-job :class:`RetryPolicy` for worker crashes.
+    progress:
+        Optional :class:`~repro.obs.progress.CampaignProgress` receiving
+        live counter updates.
+    trace:
+        Optional :class:`~repro.sim.trace.TraceLog`; one ``campaign_job``
+        record is emitted per completion (wall-clock seconds since start),
+        so attached sinks stream live progress.
+    max_jobs:
+        Execute at most this many *new* jobs, then stop (journal intact,
+        result marked incomplete).  The deterministic interruption hook
+        used by the resume tests and the CI smoke job.
+    worker:
+        Job body override (tests inject flaky workers); defaults to
+        :func:`repro.experiments.runner.run_config`.
+    sleep:
+        Backoff sleep override for tests.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        backend: Optional[ExecutionBackend] = None,
+        *,
+        cache: Optional[ResultCache] = None,
+        journal_path: Optional[Union[str, Path]] = None,
+        resume: bool = False,
+        retry: RetryPolicy = RetryPolicy(),
+        progress: Optional[CampaignProgress] = None,
+        trace: Optional[TraceLog] = None,
+        max_jobs: Optional[int] = None,
+        worker: JobFn = run_config,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if resume and journal_path is None:
+            raise CampaignError("--resume needs a journal path")
+        self.spec = spec
+        self.backend = backend or InlineBackend()
+        self.cache = cache
+        self.journal_path = Path(journal_path) if journal_path is not None else None
+        self.resume = resume
+        self.retry = retry
+        self.progress = progress
+        self.trace = trace
+        self.max_jobs = max_jobs
+        self.worker = worker
+        self.sleep = sleep
+
+    # -- helpers -------------------------------------------------------
+    def _note(self, job: CampaignJob, source: str, started: float) -> None:
+        if self.progress is not None:
+            self.progress.job_done(source)
+        if self.trace is not None:
+            self.trace.emit(
+                time.perf_counter() - started,
+                "campaign_job",
+                job=job.index,
+                digest=job.digest[:12],
+                source=source,
+                replication=job.replication,
+            )
+
+    # -- the run -------------------------------------------------------
+    def run(self) -> CampaignResult:
+        started = time.perf_counter()
+        jobs = compile_campaign(self.spec)
+        if self.progress is not None:
+            self.progress.start(total=len(jobs), name=self.spec.name)
+        reports: Dict[int, MetricsReport] = {}
+        from_journal = from_cache = executed = retried = 0
+
+        if self.resume and self.journal_path is not None and self.journal_path.exists():
+            with span("campaign.resume"):
+                state = load_journal(self.journal_path, tolerate_partial=True)
+            if state.spec_digest is not None and state.spec_digest != self.spec.digest():
+                raise CampaignError(
+                    f"journal {self.journal_path} records a different campaign "
+                    f"spec ({state.spec_digest[:12]} != {self.spec.digest()[:12]})"
+                )
+            for job in jobs:
+                report = state.reports.get(job.digest)
+                if report is not None:
+                    reports[job.index] = report
+                    from_journal += 1
+                    self._note(job, "journal", started)
+
+        journal = (
+            CampaignJournal(self.journal_path) if self.journal_path is not None else None
+        )
+        try:
+            if journal is not None:
+                journal.begin(self.spec, total_jobs=len(jobs))
+
+            pending = [job for job in jobs if job.index not in reports]
+            if self.cache is not None:
+                with span("campaign.cache"):
+                    still: List[CampaignJob] = []
+                    for job in pending:
+                        exporting = (
+                            job.config.obs is not None
+                            and job.config.obs.trace_path is not None
+                        )
+                        cached = None if exporting else self.cache.get(job.config)
+                        if cached is not None:
+                            reports[job.index] = cached
+                            from_cache += 1
+                            if journal is not None:
+                                journal.record(job, cached)
+                            self._note(job, "cache", started)
+                        else:
+                            still.append(job)
+                    pending = still
+
+            truncated = False
+            if self.max_jobs is not None and len(pending) > self.max_jobs:
+                pending = pending[: self.max_jobs]
+                truncated = True
+
+            by_index = {job.index: job for job in jobs}
+            batch = [(job.index, job.config) for job in pending]
+            attempt = 0
+            with span("campaign.execute"):
+                while batch:
+                    results, failures = self.backend.run_batch(self.worker, batch)
+                    for index in sorted(results):
+                        job = by_index[index]
+                        report = results[index]
+                        reports[index] = report
+                        executed += 1
+                        if journal is not None:
+                            journal.record(job, report)
+                        if self.cache is not None:
+                            self.cache.put(job.config, report)
+                        self._note(job, "run", started)
+                    if not failures:
+                        break
+                    attempt += 1
+                    if attempt > self.retry.retries:
+                        failed = sorted(failures)
+                        causes = "; ".join(
+                            f"{by_index[i].label()}: {failures[i]}" for i in failed[:3]
+                        )
+                        raise CampaignError(
+                            f"{len(failed)} job(s) failed after "
+                            f"{self.retry.retries} retr(ies): {causes}"
+                        )
+                    if self.progress is not None:
+                        self.progress.retry(len(failures))
+                    retried += len(failures)
+                    delay = self.retry.delay(attempt)
+                    if delay > 0:
+                        self.sleep(delay)
+                    batch = [(index, by_index[index].config) for index in sorted(failures)]
+        finally:
+            if journal is not None:
+                journal.close()
+
+        complete = len(reports) == len(jobs) and not truncated
+        aggregate = None
+        if complete:
+            with span("campaign.aggregate"):
+                aggregate = aggregate_campaign(self.spec, jobs, reports)
+        return CampaignResult(
+            spec=self.spec,
+            total_jobs=len(jobs),
+            executed=executed,
+            from_cache=from_cache,
+            from_journal=from_journal,
+            retried=retried,
+            complete=complete,
+            aggregate=aggregate,
+        )
+
+
+def run_campaign(
+    spec: Union[CampaignSpec, Mapping[str, Any], str, Path],
+    *,
+    backend: Union[str, ExecutionBackend] = "inline",
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    journal: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    retry: RetryPolicy = RetryPolicy(),
+    progress: Optional[CampaignProgress] = None,
+    trace: Optional[TraceLog] = None,
+    max_jobs: Optional[int] = None,
+) -> CampaignResult:
+    """One-call campaign execution (the :mod:`repro.api` entry point).
+
+    ``spec`` may be a :class:`CampaignSpec`, a dict in the
+    :meth:`CampaignSpec.from_dict` shape, or a path to a TOML/JSON spec
+    file.  ``backend`` is a name (``inline``/``process``/``thread``) or a
+    ready :class:`ExecutionBackend` instance.
+    """
+    if isinstance(spec, (str, Path)):
+        spec = load_spec(spec)
+    elif isinstance(spec, Mapping):
+        spec = CampaignSpec.from_dict(spec)
+    if isinstance(backend, str):
+        backend = make_backend(backend, jobs=jobs)
+    runner = CampaignRunner(
+        spec,
+        backend,
+        cache=cache,
+        journal_path=journal,
+        resume=resume,
+        retry=retry,
+        progress=progress,
+        trace=trace,
+        max_jobs=max_jobs,
+    )
+    return runner.run()
+
+
+__all__ = [
+    "BACKENDS",
+    "CampaignError",
+    "CampaignJob",
+    "CampaignJournal",
+    "CampaignProgress",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
+    "ExecutionBackend",
+    "InlineBackend",
+    "JournalState",
+    "ProcessBackend",
+    "RetryPolicy",
+    "ThreadBackend",
+    "aggregate_campaign",
+    "apply_overrides",
+    "compile_campaign",
+    "load_journal",
+    "load_spec",
+    "make_backend",
+    "run_campaign",
+]

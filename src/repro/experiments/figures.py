@@ -98,7 +98,9 @@ def run_fig8(
         for t in _sample_times(config.duration, sample_interval)
     )
     point_configs: Dict[Hashable, ScenarioConfig] = {
-        (m, liteworp): replace(config, n_malicious=m, liteworp_enabled=liteworp)
+        (m, liteworp): replace(
+            config, n_malicious=m, defense="liteworp" if liteworp else "none"
+        )
         for m in malicious_counts
         for liteworp in (False, True)
     }
@@ -180,7 +182,7 @@ def run_fig9(
                 config,
                 n_malicious=effective_m,
                 attack_mode=mode,
-                liteworp_enabled=liteworp,
+                defense="liteworp" if liteworp else "none",
             )
     grouped = _sweep_reports(point_configs, runs, jobs, cache)
     dropped: Dict[Tuple[int, bool], float] = {}
@@ -248,7 +250,7 @@ def run_fig10(
         int(theta): replace(
             config,
             liteworp=replace(config.liteworp, theta=int(theta)),
-            liteworp_enabled=True,
+            defense="liteworp",
         )
         for theta in thetas
     }

@@ -74,9 +74,18 @@ def replication_configs(config: ScenarioConfig, runs: int) -> List[ScenarioConfi
     return [replace(config, seed=child_seed(config.seed, index)) for index in range(runs)]
 
 
-def _run_config(config: ScenarioConfig) -> MetricsReport:
-    """Module-level worker body (must be picklable for the process pool)."""
+def run_config(config: ScenarioConfig) -> MetricsReport:
+    """Module-level worker body (must be picklable for process pools).
+
+    Shared by :class:`SweepRunner` and the campaign orchestrator's
+    ``process`` backend (:mod:`repro.experiments.campaign`), so both fan
+    the exact same job function across workers.
+    """
     return run_scenario(config)
+
+
+#: Backward-compat alias for the pre-campaign private name.
+_run_config = run_config
 
 
 class SweepRunner:
@@ -130,7 +139,7 @@ class SweepRunner:
         if miss_indices:
             missed_configs = [configs[i] for i in miss_indices]
             with span("sweep.fanout"):
-                reports = parallel_map(_run_config, missed_configs, jobs=self.jobs)
+                reports = parallel_map(run_config, missed_configs, jobs=self.jobs)
             self.computed += len(reports)
             for position, report in zip(miss_indices, reports):
                 results[position] = report

@@ -10,6 +10,7 @@ with the out-of-band wormhole.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
@@ -54,7 +55,9 @@ class ScenarioConfig:
     ``defense`` selects the protection scheme: ``"liteworp"`` (this
     paper), ``"geo_leash"`` / ``"temporal_leash"`` (the packet-leash
     baseline from the paper's related work), or ``"none"``.  The default
-    ``"auto"`` derives it from the legacy ``liteworp_enabled`` flag.
+    ``"auto"`` resolves to ``"liteworp"`` unless the deprecated
+    ``liteworp_enabled`` flag is explicitly set, in which case the legacy
+    boolean still wins (with a :class:`DeprecationWarning`).
     """
 
     n_nodes: int = 100
@@ -62,7 +65,10 @@ class ScenarioConfig:
     avg_neighbors: float = 8.0
     seed: int = 1
     duration: float = 300.0
-    liteworp_enabled: bool = True
+    # Deprecated: pass defense="liteworp" / "none" instead.  None means
+    # "not set"; an explicit bool keeps working through effective_defense
+    # but warns at construction.
+    liteworp_enabled: Optional[bool] = None
     defense: str = "auto"
     liteworp: LiteworpConfig = field(default_factory=LiteworpConfig)
     leash: "LeashConfig" = field(default_factory=lambda: _default_leash_config())
@@ -86,6 +92,13 @@ class ScenarioConfig:
         # Eager validation: a malformed config must fail at construction
         # with a clear message, not minutes into a run (or, worse, produce
         # a silently empty report).
+        if self.liteworp_enabled is not None:
+            warnings.warn(
+                "ScenarioConfig.liteworp_enabled is deprecated; pass "
+                "defense='liteworp' or defense='none' instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
         if self.n_nodes < 4:
             raise ValueError(f"need at least 4 nodes, got {self.n_nodes!r}")
         if self.tx_range <= 0:
@@ -123,9 +136,11 @@ class ScenarioConfig:
             raise ValueError("duration must extend past attack_start")
 
     def effective_defense(self) -> str:
-        """Resolve ``"auto"`` against the legacy boolean flag."""
+        """Resolve ``"auto"`` (honouring the deprecated boolean shim)."""
         if self.defense != "auto":
             return self.defense
+        if self.liteworp_enabled is None:
+            return "liteworp"
         return "liteworp" if self.liteworp_enabled else "none"
 
     def effective_malicious(self) -> int:

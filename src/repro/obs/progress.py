@@ -1,0 +1,105 @@
+"""Live progress counters for long-running campaign batches.
+
+A :class:`CampaignProgress` is a tiny mutable counter block the
+:class:`~repro.experiments.campaign.CampaignRunner` updates as jobs
+finish — split by *source* (freshly executed, served from the result
+cache, or skipped via the resume journal) plus retry/failure tallies.
+Attach a ``printer`` callable (the CLI passes a stderr writer) to get one
+rendered line per event; leave it ``None`` for silent counting (tests,
+library use).
+
+The counters deliberately live in :mod:`repro.obs` next to the span
+profiler and per-node counter snapshots: they are observability state,
+not campaign logic, and report tooling can consume them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+#: Where a finished job's report came from.
+JOB_SOURCES = ("run", "cache", "journal")
+
+
+@dataclass
+class CampaignProgress:
+    """Counters (and optional line printer) for one campaign run."""
+
+    printer: Optional[Callable[[str], None]] = None
+    name: str = ""
+    total: int = 0
+    executed: int = 0
+    from_cache: int = 0
+    from_journal: int = 0
+    retries: int = 0
+    failures: int = 0
+    _by_source: Dict[str, int] = field(default_factory=dict, repr=False)
+
+    def start(self, total: int, name: str = "") -> None:
+        """Reset for a campaign of ``total`` jobs."""
+        self.total = total
+        if name:
+            self.name = name
+        self.executed = self.from_cache = self.from_journal = 0
+        self.retries = self.failures = 0
+        self._by_source = {source: 0 for source in JOB_SOURCES}
+        self._emit(f"{self.done}/{self.total} jobs")
+
+    @property
+    def done(self) -> int:
+        """Jobs with a report, regardless of source."""
+        return self.executed + self.from_cache + self.from_journal
+
+    def job_done(self, source: str) -> None:
+        """Record one finished job from ``source`` (run/cache/journal)."""
+        if source == "run":
+            self.executed += 1
+        elif source == "cache":
+            self.from_cache += 1
+        elif source == "journal":
+            self.from_journal += 1
+        else:
+            raise ValueError(f"unknown job source {source!r}")
+        self._by_source[source] = self._by_source.get(source, 0) + 1
+        self._emit(f"{self.done}/{self.total} jobs ({source})")
+
+    def retry(self, count: int) -> None:
+        """Record ``count`` jobs being re-dispatched after failure."""
+        self.retries += count
+        self._emit(f"retrying {count} failed job(s)")
+
+    def failure(self, count: int) -> None:
+        """Record ``count`` jobs exhausting their retry budget."""
+        self.failures += count
+        self._emit(f"{count} job(s) failed permanently")
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict counter state (JSON-ready)."""
+        return {
+            "total": self.total,
+            "done": self.done,
+            "executed": self.executed,
+            "from_cache": self.from_cache,
+            "from_journal": self.from_journal,
+            "retries": self.retries,
+            "failures": self.failures,
+        }
+
+    def render(self) -> str:
+        """One-line human summary of the counters."""
+        label = self.name or "campaign"
+        return (
+            f"[{label}] {self.done}/{self.total} done "
+            f"(run {self.executed}, cache {self.from_cache}, "
+            f"journal {self.from_journal}); "
+            f"{self.retries} retried, {self.failures} failed"
+        )
+
+    def _emit(self, event: str) -> None:
+        if self.printer is not None:
+            label = self.name or "campaign"
+            self.printer(f"[{label}] {event}")
+
+
+__all__ = ["JOB_SOURCES", "CampaignProgress"]

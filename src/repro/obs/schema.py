@@ -241,6 +241,11 @@ def _build_default_registry() -> SchemaRegistry:
               description="a planned fault fired")
     r.declare("fault_cleared", ["fault"], fault_fields,
               description="a fault's effect ended (recovery)")
+    # -- harness / campaign --------------------------------------------
+    r.declare("campaign_job", ["job", "digest", "source"],
+              ["replication", "point"],
+              description="campaign job completed (source: run/cache/journal); "
+                          "time is wall-clock seconds since campaign start")
     # -- baselines / mobility ------------------------------------------
     r.declare("leash_rejected", ["node", "reason", *frame],
               description="packet-leash baseline discarded a frame")

@@ -15,7 +15,7 @@ def config(mode, protected=True, seed=5, **kwargs):
         attack_mode=mode,
         n_malicious=1,
         attack_start=30.0,
-        liteworp_enabled=protected,
+        defense="liteworp" if protected else "none",
         **kwargs,
     )
 

@@ -13,7 +13,7 @@ def small(mode="outofband", liteworp=True, seed=5, duration=180.0, **kwargs):
         seed=seed,
         attack_mode=mode,
         attack_start=30.0,
-        liteworp_enabled=liteworp,
+        defense="liteworp" if liteworp else "none",
         **kwargs,
     )
 

@@ -147,6 +147,106 @@ def test_bench_sweep_records_harness_spans():
     assert result.to_dict()["spans"] == spans
 
 
+def test_figure_command_matches_legacy_alias(capsys):
+    argv_tail = ["--nodes", "40", "--duration", "120", "--runs", "1"]
+    assert main(["figure", "10"] + argv_tail) == 0
+    unified = capsys.readouterr()
+    assert "theta" in unified.out
+    assert main(["fig10"] + argv_tail) == 0
+    legacy = capsys.readouterr()
+    assert legacy.out == unified.out
+    assert "deprecated" in legacy.err
+    assert "repro figure 10" in legacy.err
+    assert "deprecated" not in unified.err
+
+
+def test_figure_rejects_unknown_number():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figure", "7"])
+
+
+def _write_tiny_spec(tmp_path, runs=1):
+    import json
+    spec = tmp_path / "study.json"
+    spec.write_text(json.dumps({
+        "name": "cli-smoke",
+        "runs": runs,
+        "base": {"n_nodes": 16, "duration": 30.0, "attack_start": 10.0},
+        "axes": {"n_malicious": [0, 2]},
+    }))
+    return spec
+
+
+def test_campaign_plan_lists_jobs(tmp_path, capsys):
+    spec = _write_tiny_spec(tmp_path, runs=2)
+    assert main(["campaign", "plan", str(spec)]) == 0
+    out = capsys.readouterr().out
+    assert "cli-smoke: 4 job(s)" in out
+    assert "n_malicious=2 #1" in out
+
+
+def test_campaign_run_interrupt_resume_and_status(tmp_path, capsys):
+    spec = _write_tiny_spec(tmp_path)
+    journal = tmp_path / "study.journal.jsonl"
+    cache = tmp_path / "cache"
+
+    # Uninterrupted reference aggregate.
+    ref_out = tmp_path / "ref.json"
+    assert main(["campaign", "run", str(spec), "--quiet", "--no-cache",
+                 "--journal", str(tmp_path / "ref.jsonl"),
+                 "--out", str(ref_out)]) == 0
+    capsys.readouterr()
+
+    # Interrupted run exits 75 and leaves a resumable journal.
+    code = main(["campaign", "run", str(spec), "--quiet",
+                 "--cache-dir", str(cache), "--max-jobs", "1"])
+    captured = capsys.readouterr()
+    assert code == 75
+    assert "--resume" in captured.err
+    assert journal.exists()  # default journal path: next to the spec
+
+    # Status reports the partial journal against the spec.
+    assert main(["campaign", "status", str(journal), "--spec", str(spec)]) == 0
+    status = capsys.readouterr().out
+    assert "1 completed job(s)" in status
+    assert "1/2 job(s) journaled" in status
+
+    # Resume finishes the rest and reproduces the aggregate byte for byte.
+    resumed_out = tmp_path / "resumed.json"
+    assert main(["campaign", "run", str(spec), "--quiet", "--resume",
+                 "--cache-dir", str(cache), "--out", str(resumed_out)]) == 0
+    resumed = capsys.readouterr()
+    assert "journal=1" in resumed.out
+    assert resumed_out.read_bytes() == ref_out.read_bytes()
+
+
+def test_campaign_resume_without_journal_errors(tmp_path, capsys):
+    spec = _write_tiny_spec(tmp_path)
+    code = main(["campaign", "run", str(spec), "--no-journal", "--resume"])
+    assert code == 1
+    assert "--resume needs a journal" in capsys.readouterr().err
+
+
+def test_campaign_run_bad_spec(tmp_path, capsys):
+    bad = tmp_path / "bad.toml"
+    bad.write_text("name = ")
+    assert main(["campaign", "run", str(bad)]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_campaign_trace_out_streams_job_records(tmp_path, capsys):
+    spec = _write_tiny_spec(tmp_path)
+    trace_out = tmp_path / "progress.jsonl"
+    assert main(["campaign", "run", str(spec), "--quiet", "--no-cache",
+                 "--trace-out", str(trace_out)]) == 0
+    capsys.readouterr()
+    import json
+    lines = [json.loads(line) for line in trace_out.read_text().splitlines()]
+    job_records = [l for l in lines if l.get("kind") == "campaign_job"]
+    assert len(job_records) == 2
+    assert all(r["fields"]["source"] == "run" for r in job_records)
+
+
 def test_chaos_parser_defaults():
     args = build_parser().parse_args(["chaos", "--no-liveness", "--seed", "9"])
     assert args.command == "chaos"

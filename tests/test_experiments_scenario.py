@@ -75,7 +75,7 @@ def test_honest_nodes_have_agents_malicious_do_not():
 
 def test_liteworp_disabled_builds_no_agents():
     config = ScenarioConfig(
-        n_nodes=20, duration=60.0, seed=4, attack_start=20.0, liteworp_enabled=False
+        n_nodes=20, duration=60.0, seed=4, attack_start=20.0, defense="none"
     )
     scenario = build_scenario(config)
     assert scenario.agents == {}

@@ -86,11 +86,11 @@ def test_liteworp_overhead_negligible_without_attack():
     failure-free operation beyond discovery, per the paper's claims)."""
     base = build_scenario(
         ScenarioConfig(n_nodes=25, duration=120.0, seed=9, attack_mode="none",
-                       n_malicious=0, liteworp_enabled=False)
+                       n_malicious=0, defense="none")
     ).run()
     protected = build_scenario(
         ScenarioConfig(n_nodes=25, duration=120.0, seed=9, attack_mode="none",
-                       n_malicious=0, liteworp_enabled=True)
+                       n_malicious=0, defense="liteworp")
     ).run()
     assert protected.delivered >= base.delivered * 0.9
 

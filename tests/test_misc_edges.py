@@ -86,11 +86,16 @@ def test_temporal_leash_defense_builds_and_runs():
 
 
 def test_defense_auto_follows_legacy_flag():
-    on = ScenarioConfig(n_nodes=20, liteworp_enabled=True)
-    off = ScenarioConfig(n_nodes=20, liteworp_enabled=False)
+    with pytest.warns(DeprecationWarning):
+        on = ScenarioConfig(n_nodes=20, liteworp_enabled=True)
+    with pytest.warns(DeprecationWarning):
+        off = ScenarioConfig(n_nodes=20, liteworp_enabled=False)
     assert on.effective_defense() == "liteworp"
     assert off.effective_defense() == "none"
-    explicit = ScenarioConfig(n_nodes=20, liteworp_enabled=False, defense="geo_leash")
+    with pytest.warns(DeprecationWarning):
+        explicit = ScenarioConfig(
+            n_nodes=20, liteworp_enabled=False, defense="geo_leash"
+        )
     assert explicit.effective_defense() == "geo_leash"
 
 
