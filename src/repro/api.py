@@ -37,6 +37,7 @@ from repro.experiments.campaign import (
     CampaignSpec,
     ExecutionBackend,
     RetryPolicy,
+    SupervisionPolicy,
     load_spec,
     run_campaign,
 )
@@ -104,13 +105,18 @@ def campaign(
     journal: Optional[Union[str, Path]] = None,
     resume: bool = False,
     retry: RetryPolicy = RetryPolicy(),
+    supervision: SupervisionPolicy = SupervisionPolicy(),
     max_jobs: Optional[int] = None,
+    stop: Optional[Any] = None,
+    fsync: bool = True,
 ) -> CampaignResult:
     """Execute (or resume) a campaign spec; see
     :mod:`repro.experiments.campaign` for the full semantics.
 
     ``spec`` may be a :class:`CampaignSpec`, a spec-shaped mapping, or a
-    path to a TOML/JSON file.
+    path to a TOML/JSON file.  ``supervision`` configures per-job
+    timeouts and poison-job quarantine; ``stop`` is a zero-argument
+    callable polled for graceful interruption.
     """
     if isinstance(cache, (str, Path)):
         cache = ResultCache(cache)
@@ -122,7 +128,10 @@ def campaign(
         journal=journal,
         resume=resume,
         retry=retry,
+        supervision=supervision,
         max_jobs=max_jobs,
+        stop=stop,
+        fsync=fsync,
     )
 
 
@@ -162,6 +171,7 @@ __all__ = [
     "CampaignResult",
     "CampaignSpec",
     "RetryPolicy",
+    "SupervisionPolicy",
     "load_spec",
     # Results.
     "MetricsReport",

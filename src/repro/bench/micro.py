@@ -18,8 +18,10 @@ that serialises to a ``BENCH_<name>.json`` trajectory file:
   a :class:`MemorySink`, a :class:`JsonlSink`, and in bounded ring
   mode — the observability tax on the simulator's hottest call.
 - ``campaign`` — the campaign orchestrator's tax over a raw scenario
-  loop (journal appends, aggregation, progress accounting) and the
-  replay speed of a journal-only resume.
+  loop (journal appends, aggregation, progress accounting), the replay
+  speed of a journal-only resume, and the marginal cost of worker
+  supervision plus durable (fsync) journal writes over an unsupervised
+  no-fsync run.
 
 Timing numbers are environment-dependent by nature; correctness flags
 (``byte_identical``) are not.  CI runs the suite in quick mode and only
@@ -399,23 +401,33 @@ def bench_trace(quick: bool = True) -> BenchResult:
 def bench_campaign(quick: bool = True) -> BenchResult:
     """Campaign harness tax: journaled campaign vs a raw scenario loop.
 
-    Runs the same job grid three ways over identical configs:
+    Runs the same job grid five ways over identical configs:
 
     1. **raw** — a bare ``run_scenario`` loop, no journal, no aggregate
        (the floor every campaign feature is priced against);
     2. **campaign-cold** — the inline backend with a JSONL journal,
        progress accounting, and aggregation;
     3. **campaign-resume** — a second run over the finished journal:
-       every job replayed from disk, zero simulations.
+       every job replayed from disk, zero simulations;
+    4. **unsupervised** — journal without fsync, no per-job timeout,
+       quarantine off (the pre-supervision execution profile);
+    5. **supervised** — durable fsync journal, a generous per-job
+       wall-clock timeout, and quarantine on (the default profile).
 
-    Correctness flag: the resumed aggregate must be byte-identical to
-    the cold one, and the cold aggregate must equal the one recomputed
-    from the raw loop's reports (``byte_identical``).
+    The gap between 4 and 5, per job, is ``supervision_overhead_per_job_ms``
+    — what crash consistency and worker supervision cost when nothing
+    goes wrong.
+
+    Correctness flag: the resumed, unsupervised, and supervised
+    aggregates must all be byte-identical to the cold one, and the cold
+    aggregate must equal the one recomputed from the raw loop's reports
+    (``byte_identical``).
     """
     import tempfile
 
     from repro.experiments.campaign import (
         CampaignSpec,
+        SupervisionPolicy,
         aggregate_campaign,
         compile_campaign,
         run_campaign,
@@ -466,13 +478,42 @@ def bench_campaign(quick: bool = True) -> BenchResult:
              "seconds": resume_seconds}
         )
 
+        bare_journal = pathlib.Path(temp) / "bench.bare.jsonl"
+        bare_started = time.perf_counter()
+        bare = run_campaign(
+            spec,
+            journal=bare_journal,
+            fsync=False,
+            supervision=SupervisionPolicy(timeout=None, quarantine=False),
+        )
+        bare_seconds = time.perf_counter() - bare_started
+        samples.append(
+            {"phase": "campaign_unsupervised", "executed": bare.executed,
+             "seconds": bare_seconds}
+        )
+
+        guarded_journal = pathlib.Path(temp) / "bench.guarded.jsonl"
+        guarded_started = time.perf_counter()
+        guarded = run_campaign(
+            spec,
+            journal=guarded_journal,
+            fsync=True,
+            supervision=SupervisionPolicy(timeout=300.0, quarantine=True),
+        )
+        guarded_seconds = time.perf_counter() - guarded_started
+        samples.append(
+            {"phase": "campaign_supervised", "executed": guarded.executed,
+             "seconds": guarded_seconds}
+        )
+
     raw_aggregate = aggregate_campaign(spec, jobs, raw_reports)
+    cold_canonical = json.dumps(cold.aggregate, sort_keys=True)
     byte_identical = (
         resumed.executed == 0
-        and json.dumps(cold.aggregate, sort_keys=True)
-        == json.dumps(resumed.aggregate, sort_keys=True)
-        and json.dumps(cold.aggregate, sort_keys=True)
-        == json.dumps(raw_aggregate, sort_keys=True)
+        and cold_canonical == json.dumps(resumed.aggregate, sort_keys=True)
+        and cold_canonical == json.dumps(raw_aggregate, sort_keys=True)
+        and cold_canonical == json.dumps(bare.aggregate, sort_keys=True)
+        and cold_canonical == json.dumps(guarded.aggregate, sort_keys=True)
     )
     return BenchResult(
         name="campaign",
@@ -483,7 +524,12 @@ def bench_campaign(quick: bool = True) -> BenchResult:
             "raw_seconds": raw_seconds,
             "campaign_seconds": cold_seconds,
             "resume_seconds": resume_seconds,
+            "unsupervised_seconds": bare_seconds,
+            "supervised_seconds": guarded_seconds,
             "overhead_per_job_ms": 1e3 * (cold_seconds - raw_seconds) / len(jobs),
+            "supervision_overhead_per_job_ms": (
+                1e3 * (guarded_seconds - bare_seconds) / len(jobs)
+            ),
             "byte_identical": byte_identical,
         },
     )

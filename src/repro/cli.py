@@ -8,10 +8,13 @@ Commands
   cache).  The pre-unification spellings ``fig8``/``fig9``/``fig10``
   survive as thin deprecated aliases.
 - ``campaign`` — declarative multi-sweep batches: ``run`` executes a
-  TOML/JSON campaign spec through a pluggable backend with an append-only
-  completion journal (``--resume`` skips every journaled job and yields
-  byte-identical aggregates), ``plan`` prints the compiled job list, and
-  ``status`` summarises a journal.
+  TOML/JSON campaign spec through a pluggable, supervised backend with an
+  append-only completion journal (``--resume`` skips every journaled job
+  and yields byte-identical aggregates; ``--timeout`` preempts hung
+  workers; poison jobs are dead-lettered; SIGINT/SIGTERM flush the
+  journal and exit 75), ``plan`` prints the compiled job list, ``status``
+  summarises a journal, and ``doctor`` audits/repairs a damaged journal
+  or result cache.
 - ``fig6`` — the analytical coverage curves.
 - ``cost`` — the section-5.2 cost table.
 - ``taxonomy`` — Table 1.
@@ -163,6 +166,22 @@ def build_parser() -> argparse.ArgumentParser:
                              "(exit 75; resume later with --resume)")
     crun_p.add_argument("--retries", type=int, default=2, metavar="N",
                         help="per-job retries on worker crash (default 2)")
+    crun_p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                        help="per-job wall-clock timeout; hung workers are "
+                             "preempted (default: none)")
+    crun_p.add_argument("--no-quarantine", dest="quarantine",
+                        action="store_false",
+                        help="abort the campaign when a job exhausts its "
+                             "retries instead of dead-lettering it")
+    crun_p.add_argument("--no-fsync", dest="fsync", action="store_false",
+                        help="skip fsync on journal/cache writes (faster, "
+                             "not crash-durable)")
+    crun_p.add_argument("--harness-faults", default=None, metavar="FILE",
+                        help="inject a harness fault plan (JSON) for chaos "
+                             "testing")
+    crun_p.add_argument("--fault-state", default=None, metavar="DIR",
+                        help="fault firing-state directory (share between "
+                             "run and resume; default <FILE>.state)")
     crun_p.add_argument("--no-cache", dest="use_cache", action="store_false",
                         help="do not read or write the on-disk result cache")
     crun_p.add_argument("--cache-dir", default=".repro-cache",
@@ -186,6 +205,19 @@ def build_parser() -> argparse.ArgumentParser:
     cstatus_p.add_argument("--spec", default=None,
                            help="spec file to compare against (reports "
                                 "remaining jobs and digest match)")
+
+    cdoctor_p = campaign_sub.add_parser(
+        "doctor", help="audit (and repair) a campaign journal and cache"
+    )
+    cdoctor_p.add_argument("journal", help="campaign journal (JSONL)")
+    cdoctor_p.add_argument("--repair", action="store_true",
+                           help="rewrite the journal keeping healthy lines; "
+                                "damaged ones move to <journal>.quarantine.jsonl")
+    cdoctor_p.add_argument("--spec", default=None, metavar="FILE",
+                           help="campaign spec; with --repair, drops lines "
+                                "belonging to any other spec")
+    cdoctor_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                           help="also audit/repair this result cache directory")
 
     bench_p = sub.add_parser("bench", help="microbenchmark suite; writes BENCH_*.json")
     bench_p.add_argument("--full", action="store_true",
@@ -397,16 +429,19 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         "run": _campaign_run,
         "plan": _campaign_plan,
         "status": _campaign_status,
+        "doctor": _campaign_doctor,
     }
     return handlers[args.campaign_command](args)
 
 
 def _campaign_run(args: argparse.Namespace) -> int:
     import pathlib
+    import signal
 
     from repro.experiments.campaign import (
         CampaignError,
         RetryPolicy,
+        SupervisionPolicy,
         load_spec,
         make_backend,
         run_campaign,
@@ -432,7 +467,7 @@ def _campaign_run(args: argparse.Namespace) -> int:
     if args.use_cache:
         from repro.experiments.cache import ResultCache
 
-        cache = ResultCache(args.cache_dir)
+        cache = ResultCache(args.cache_dir, fsync=args.fsync)
 
     progress = None
     if not args.quiet:
@@ -448,6 +483,45 @@ def _campaign_run(args: argparse.Namespace) -> int:
         trace = TraceLog()
         trace.attach_sink(JsonlSink(args.trace_out, append=True, run=spec.name))
 
+    harness_faults = None
+    if args.harness_faults is not None:
+        from repro.faults.harness import (
+            HarnessFaultController,
+            HarnessFaultError,
+            load_harness_plan,
+        )
+
+        try:
+            plan = load_harness_plan(args.harness_faults)
+        except HarnessFaultError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        state_dir = args.fault_state or f"{args.harness_faults}.state"
+        harness_faults = HarnessFaultController(plan, state_dir)
+        print(f"chaos: {len(plan)} harness fault(s) armed "
+              f"(state {state_dir})", file=sys.stderr)
+
+    # Graceful shutdown: the first SIGINT/SIGTERM flips a flag the runner
+    # polls between jobs, so the journal gets a final "interrupt" line
+    # and the process exits 75 (resumable) instead of dying with a bare
+    # traceback.  A second signal falls through to the default handling.
+    signalled = {"stop": False}
+
+    def _handle_signal(signum: int, frame: object) -> None:
+        if signalled["stop"]:
+            raise KeyboardInterrupt
+        signalled["stop"] = True
+        name = signal.Signals(signum).name
+        print(f"\n{name} received — finishing in-flight jobs and flushing "
+              f"the journal (again to abort hard)", file=sys.stderr)
+
+    previous_handlers = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous_handlers[signum] = signal.signal(signum, _handle_signal)
+        except (ValueError, OSError):
+            pass  # non-main thread or unsupported platform
+
     try:
         result = run_campaign(
             spec,
@@ -456,22 +530,42 @@ def _campaign_run(args: argparse.Namespace) -> int:
             journal=journal,
             resume=args.resume,
             retry=RetryPolicy(retries=args.retries),
+            supervision=SupervisionPolicy(
+                timeout=args.timeout, quarantine=args.quarantine
+            ),
             progress=progress,
             trace=trace,
             max_jobs=args.max_jobs,
+            stop=lambda: signalled["stop"],
+            fsync=args.fsync,
+            harness_faults=harness_faults,
         )
     except CampaignError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     finally:
+        for signum, handler in previous_handlers.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):
+                pass
         if trace is not None:
             trace.close_sinks()
 
     if not result.complete:
         print(result.format())
-        print(f"campaign stopped after --max-jobs {args.max_jobs}; "
-              f"{result.completed_jobs}/{result.total_jobs} jobs journaled — "
-              f"rerun with --resume to finish", file=sys.stderr)
+        if result.interrupted == "signal":
+            reason = "campaign interrupted by signal"
+        elif result.interrupted == "torn_write":
+            reason = ("campaign stopped by an injected torn journal write; "
+                      "run 'repro campaign doctor' before resuming")
+        elif result.dead_lettered:
+            reason = (f"campaign finished with {result.dead_lettered} "
+                      f"dead-lettered job(s); see the journal for tracebacks")
+        else:
+            reason = f"campaign stopped after --max-jobs {args.max_jobs}"
+        print(f"{reason}; {result.completed_jobs}/{result.total_jobs} jobs "
+              f"journaled — rerun with --resume to finish", file=sys.stderr)
         return 75  # EX_TEMPFAIL: partial progress, safe to resume
     print(result.format())
     if args.out:
@@ -480,6 +574,57 @@ def _campaign_run(args: argparse.Namespace) -> int:
         path.write_text(result.to_json())
         print(f"aggregate JSON written to {path}", file=sys.stderr)
     return 0
+
+
+def _campaign_doctor(args: argparse.Namespace) -> int:
+    from repro.experiments.campaign import CampaignError, load_spec
+    from repro.experiments.doctor import (
+        audit_cache,
+        audit_journal,
+        repair_cache,
+        repair_journal,
+    )
+
+    spec_digest = None
+    if args.spec is not None:
+        try:
+            spec_digest = load_spec(args.spec).digest()
+        except CampaignError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+
+    try:
+        problems = 0
+        if args.repair:
+            result = repair_journal(args.journal, spec_digest=spec_digest)
+            print(result.audit.format())
+            print(result.format())
+        else:
+            audit = audit_journal(args.journal)
+            print(audit.format())
+            problems += len(audit.problems)
+        if args.cache_dir is not None:
+            if args.repair:
+                quarantined = repair_cache(args.cache_dir)
+                for problem in quarantined:
+                    print(f"  quarantined {problem.format()}")
+                print(f"cache {args.cache_dir}: "
+                      f"{len(quarantined)} entr(ies) quarantined"
+                      if quarantined else
+                      f"cache {args.cache_dir}: healthy")
+            else:
+                cache_problems = audit_cache(args.cache_dir)
+                for problem in cache_problems:
+                    print(f"  {problem.format()}")
+                print(f"cache {args.cache_dir}: "
+                      f"{len(cache_problems)} problem(s)"
+                      if cache_problems else
+                      f"cache {args.cache_dir}: healthy")
+                problems += len(cache_problems)
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 2 if problems else 0
 
 
 def _campaign_plan(args: argparse.Namespace) -> int:
@@ -516,6 +661,11 @@ def _campaign_status(args: argparse.Namespace) -> int:
     spec_digest = state.spec_digest[:12] if state.spec_digest else "unknown"
     print(f"journal {args.journal}: {len(state)} completed job(s), "
           f"spec {spec_digest}")
+    if state.dead_letters:
+        print(f"  {len(state.dead_letters)} dead-lettered job(s) "
+              f"(will re-run on resume)")
+    if state.interrupts:
+        print(f"  {state.interrupts} recorded interrupt(s)")
     if state.partial_lines:
         print(f"warning: skipped {state.partial_lines} partial trailing line "
               f"(campaign was killed mid-append)", file=sys.stderr)

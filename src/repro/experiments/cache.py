@@ -115,13 +115,21 @@ class ResultCache:
         Override for the code-version salt; defaults to :func:`code_salt`.
         Tests use explicit salts to exercise invalidation without editing
         source files.
+    fsync:
+        fsync entries (and their directory) before the atomic rename
+        publishes them, so a machine crash cannot leave a renamed-but-
+        empty entry.  Default True; benchmarks can turn it off.
     """
 
     def __init__(
-        self, root: Union[str, pathlib.Path], salt: Optional[str] = None
+        self,
+        root: Union[str, pathlib.Path],
+        salt: Optional[str] = None,
+        fsync: bool = True,
     ) -> None:
         self.root = pathlib.Path(root)
         self.salt = salt if salt is not None else code_salt()
+        self.fsync = fsync
         self.hits = 0
         self.misses = 0
 
@@ -160,7 +168,20 @@ class ResultCache:
             try:
                 with os.fdopen(fd, "w") as handle:
                     handle.write(text)
+                    if self.fsync:
+                        # Durability order matters: entry bytes first,
+                        # then the rename, then the directory entry — a
+                        # crash at any point leaves either the old state
+                        # or the complete new one, never a torn entry.
+                        handle.flush()
+                        os.fsync(handle.fileno())
                 os.replace(temp_name, path)
+                if self.fsync:
+                    dir_fd = os.open(path.parent, os.O_RDONLY)
+                    try:
+                        os.fsync(dir_fd)
+                    finally:
+                        os.close(dir_fd)
             except BaseException:
                 try:
                     os.unlink(temp_name)

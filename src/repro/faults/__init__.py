@@ -9,13 +9,32 @@ countermeasure's behaviour under churn can be measured:
   *what* goes wrong and *when* (crash-stop, crash-recover, link flap,
   ambient-loss burst, MAC saturation, energy depletion, clock drift);
 - :mod:`repro.faults.controller` — the executor that arms a plan on a
-  live :class:`~repro.net.network.Network` via simulator timers.
+  live :class:`~repro.net.network.Network` via simulator timers;
+- :mod:`repro.faults.harness` — faults against the experiment harness
+  itself (worker crash/hang, corrupted results, torn journal writes,
+  sink IO errors), validating the campaign supervisor's crash
+  consistency rather than the protocol's.
 
 Fault plans are pure data: the same plan applied to the same seeded
 scenario reproduces the exact same run, byte for byte.
 """
 
 from repro.faults.controller import FaultController
+from repro.faults.harness import (
+    CorruptResult,
+    HarnessFault,
+    HarnessFaultController,
+    HarnessFaultError,
+    HarnessFaultPlan,
+    HarnessInterrupt,
+    InjectedWorkerCrash,
+    SinkIOError,
+    TornJournalWrite,
+    WorkerCrash,
+    WorkerHang,
+    WorkerSlowdown,
+    load_harness_plan,
+)
 from repro.faults.plan import (
     ClockDrift,
     CrashRecover,
@@ -30,13 +49,26 @@ from repro.faults.plan import (
 
 __all__ = [
     "ClockDrift",
+    "CorruptResult",
     "CrashRecover",
     "CrashStop",
     "EnergyDepletion",
     "Fault",
     "FaultController",
     "FaultPlan",
+    "HarnessFault",
+    "HarnessFaultController",
+    "HarnessFaultError",
+    "HarnessFaultPlan",
+    "HarnessInterrupt",
+    "InjectedWorkerCrash",
     "LinkFlap",
     "LossBurst",
     "MacSaturation",
+    "SinkIOError",
+    "TornJournalWrite",
+    "WorkerCrash",
+    "WorkerHang",
+    "WorkerSlowdown",
+    "load_harness_plan",
 ]

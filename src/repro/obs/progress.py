@@ -34,6 +34,9 @@ class CampaignProgress:
     from_journal: int = 0
     retries: int = 0
     failures: int = 0
+    timeouts: int = 0
+    dead_lettered: int = 0
+    interrupted: str = ""
     _by_source: Dict[str, int] = field(default_factory=dict, repr=False)
 
     def start(self, total: int, name: str = "") -> None:
@@ -43,6 +46,8 @@ class CampaignProgress:
             self.name = name
         self.executed = self.from_cache = self.from_journal = 0
         self.retries = self.failures = 0
+        self.timeouts = self.dead_lettered = 0
+        self.interrupted = ""
         self._by_source = {source: 0 for source in JOB_SOURCES}
         self._emit(f"{self.done}/{self.total} jobs")
 
@@ -74,6 +79,22 @@ class CampaignProgress:
         self.failures += count
         self._emit(f"{count} job(s) failed permanently")
 
+    def timeout(self, count: int) -> None:
+        """Record ``count`` jobs preempted past the wall-clock timeout."""
+        self.timeouts += count
+        self._emit(f"{count} job(s) timed out; worker(s) preempted")
+
+    def dead_letter(self, count: int) -> None:
+        """Record ``count`` poison jobs quarantined to the journal."""
+        self.dead_lettered += count
+        self.failures += count
+        self._emit(f"{count} poison job(s) dead-lettered to the journal")
+
+    def interrupt(self, reason: str) -> None:
+        """Record a graceful stop (``signal``/``max_jobs``/``torn_write``)."""
+        self.interrupted = reason
+        self._emit(f"interrupted ({reason}) after {self.done}/{self.total} jobs")
+
     def snapshot(self) -> Dict[str, int]:
         """Plain-dict counter state (JSON-ready)."""
         return {
@@ -84,17 +105,26 @@ class CampaignProgress:
             "from_journal": self.from_journal,
             "retries": self.retries,
             "failures": self.failures,
+            "timeouts": self.timeouts,
+            "dead_lettered": self.dead_lettered,
         }
 
     def render(self) -> str:
         """One-line human summary of the counters."""
         label = self.name or "campaign"
-        return (
+        line = (
             f"[{label}] {self.done}/{self.total} done "
             f"(run {self.executed}, cache {self.from_cache}, "
             f"journal {self.from_journal}); "
             f"{self.retries} retried, {self.failures} failed"
         )
+        if self.timeouts:
+            line += f", {self.timeouts} timed out"
+        if self.dead_lettered:
+            line += f", {self.dead_lettered} dead-lettered"
+        if self.interrupted:
+            line += f" [interrupted: {self.interrupted}]"
+        return line
 
     def _emit(self, event: str) -> None:
         if self.printer is not None:

@@ -246,6 +246,21 @@ def _build_default_registry() -> SchemaRegistry:
               ["replication", "point"],
               description="campaign job completed (source: run/cache/journal); "
                           "time is wall-clock seconds since campaign start")
+    r.declare("worker_timeout", ["job", "digest", "seconds"],
+              description="a job ran past the supervision wall-clock "
+                          "timeout; its worker was preempted")
+    r.declare("campaign_retry", ["count", "wave"],
+              description="failed jobs re-dispatched for another wave")
+    r.declare("campaign_dead_letter", ["job", "digest", "error"],
+              ["attempts"],
+              description="a poison job exhausted its retry budget and "
+                          "was quarantined to the journal")
+    r.declare("campaign_interrupted", ["reason"], ["completed"],
+              description="campaign stopped gracefully "
+                          "(signal/max_jobs/torn_write)")
+    r.declare("sink_degraded", ["sink", "error"],
+              description="a trace sink hit an IO error and was detached; "
+                          "records fall back to the in-memory ring buffer")
     # -- baselines / mobility ------------------------------------------
     r.declare("leash_rejected", ["node", "reason", *frame],
               description="packet-leash baseline discarded a frame")

@@ -18,13 +18,23 @@ Observability extensions (see :mod:`repro.obs` and docs/OBSERVABILITY.md):
 - **Validation** — :meth:`set_validator` installs a per-record check
   (the schema registry's strict mode) that runs before the record is
   stored or forwarded.
+- **Degradation** — a sink whose ``write`` raises :class:`OSError`
+  (ENOSPC, EIO, a yanked mount) is detached with a warning instead of
+  aborting the run; if the log was unbounded it falls back to a bounded
+  ring buffer so the loss of the export path cannot exhaust memory.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Union
+
+#: Ring capacity adopted when an unbounded log loses its sink to an IO
+#: error: large enough to keep a useful post-mortem window, small enough
+#: never to look like the unbounded store it replaces.
+DEGRADED_RING_CAPACITY = 65536
 
 
 @dataclass(frozen=True)
@@ -71,6 +81,7 @@ class TraceLog:
         self._validator: Optional[Callable[[TraceRecord], None]] = None
         self.total_emitted = 0
         self.peak_resident = 0
+        self.degraded_sinks: List[str] = []
 
     def __len__(self) -> int:
         return len(self._records)
@@ -97,11 +108,42 @@ class TraceLog:
         self.total_emitted += 1
         if len(self._records) > self.peak_resident:
             self.peak_resident = len(self._records)
-        for sink in self._sinks:
-            sink.write(record)
+        for sink in tuple(self._sinks):
+            try:
+                sink.write(record)
+            except OSError as exc:
+                self._degrade_sink(sink, exc)
         for callback in self._subscribers.get(kind, ()):
             callback(record)
         return record
+
+    def _degrade_sink(self, sink: Any, exc: OSError) -> None:
+        # An export sink hitting ENOSPC/EIO must not abort a multi-hour
+        # run: detach it, keep what we can in memory, and say so loudly.
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            pass
+        close = getattr(sink, "close", None)
+        if callable(close):
+            try:
+                close()
+            except OSError:
+                pass
+        label = type(sink).__name__
+        self.degraded_sinks.append(label)
+        if self.capacity is None:
+            # Without the export path an unbounded store would grow until
+            # OOM; cap it at a post-mortem-sized ring instead.
+            self.capacity = DEGRADED_RING_CAPACITY
+            self._records = deque(self._records, maxlen=DEGRADED_RING_CAPACITY)
+        warnings.warn(
+            f"trace sink {label} failed ({exc}); sink detached, falling "
+            f"back to in-memory ring buffer (capacity {self.capacity})",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        self.emit(0.0, "sink_degraded", sink=label, error=str(exc))
 
     def subscribe(self, kind: str, callback: Callable[[TraceRecord], None]) -> None:
         """Invoke ``callback`` for every future record of ``kind``."""

@@ -14,6 +14,7 @@ from repro.experiments.campaign import (
     InlineBackend,
     ProcessBackend,
     RetryPolicy,
+    SupervisionPolicy,
     ThreadBackend,
     apply_overrides,
     compile_campaign,
@@ -363,6 +364,8 @@ def test_flaky_worker_retried_to_success(tmp_path):
 
 
 def test_retry_exhaustion_raises_campaign_error():
+    # With quarantine off, exhausting the retry budget is fatal (the
+    # pre-supervision behaviour).
     spec = tiny_spec(runs=1)
 
     def always_fails(config):
@@ -373,6 +376,7 @@ def test_retry_exhaustion_raises_campaign_error():
             spec,
             worker=always_fails,
             retry=RetryPolicy(retries=1, backoff=0.0),
+            supervision=SupervisionPolicy(quarantine=False),
             sleep=lambda _s: None,
         ).run()
 

@@ -1,0 +1,218 @@
+"""Tests for the harness fault injector: plan construction, JSON
+round-trip, cross-process claim semantics, and the worker/sink wrappers."""
+
+import errno
+import json
+
+import pytest
+
+from repro.experiments.cache import config_digest
+from repro.experiments.scenario import ScenarioConfig
+from repro.faults.harness import (
+    CorruptResult,
+    HarnessFaultController,
+    HarnessFaultError,
+    HarnessFaultPlan,
+    InjectedWorkerCrash,
+    SinkIOError,
+    TornJournalWrite,
+    WorkerCrash,
+    WorkerHang,
+    WorkerSlowdown,
+    load_harness_plan,
+)
+
+
+# ----------------------------------------------------------------------
+# Plan construction + validation
+# ----------------------------------------------------------------------
+def test_plan_sorts_and_validates():
+    plan = HarnessFaultPlan.of(
+        TornJournalWrite(entry=3),
+        WorkerCrash(job=1),
+        CorruptResult(job=0),
+    )
+    assert [f.kind for f in plan] == [
+        "corrupt_result", "torn_journal_write", "worker_crash",
+    ]
+    assert len(plan) == 3
+
+
+def test_fault_validation_rejects_bad_fields():
+    with pytest.raises(HarnessFaultError, match="job index"):
+        HarnessFaultPlan.of(WorkerCrash(job=-1))
+    with pytest.raises(HarnessFaultError, match="times"):
+        HarnessFaultPlan.of(WorkerCrash(job=0, times=0))
+    with pytest.raises(HarnessFaultError, match="seconds"):
+        HarnessFaultPlan.of(WorkerHang(job=0, seconds=0.0))
+    with pytest.raises(HarnessFaultError, match="fraction"):
+        HarnessFaultPlan.of(TornJournalWrite(entry=0, fraction=1.5))
+    with pytest.raises(HarnessFaultError, match="write"):
+        HarnessFaultPlan.of(SinkIOError(write=-1))
+
+
+def test_plan_json_round_trip(tmp_path):
+    plan = HarnessFaultPlan.of(
+        WorkerCrash(job=2, hard=True),
+        WorkerHang(job=1, seconds=5.0),
+        WorkerSlowdown(job=0, seconds=0.01),
+        CorruptResult(job=3),
+        TornJournalWrite(entry=1, fraction=0.25),
+        SinkIOError(write=4, errno_code=errno.EIO),
+    )
+    text = plan.to_json()
+    assert HarnessFaultPlan.from_json(text) == plan
+    path = tmp_path / "plan.json"
+    path.write_text(text)
+    assert load_harness_plan(path) == plan
+    # The document shape is stable and greppable.
+    payload = json.loads(text)
+    assert {entry["kind"] for entry in payload["harness_faults"]} == {
+        "worker_crash", "worker_hang", "worker_slowdown",
+        "corrupt_result", "torn_journal_write", "sink_io_error",
+    }
+
+
+def test_plan_from_dict_rejects_garbage():
+    with pytest.raises(HarnessFaultError, match="harness_faults"):
+        HarnessFaultPlan.from_dict({})
+    with pytest.raises(HarnessFaultError, match="kind"):
+        HarnessFaultPlan.from_dict({"harness_faults": [{"job": 1}]})
+    with pytest.raises(HarnessFaultError, match="unknown"):
+        HarnessFaultPlan.from_dict({"harness_faults": [{"kind": "gremlin"}]})
+    with pytest.raises(HarnessFaultError, match="bad fields"):
+        HarnessFaultPlan.from_dict(
+            {"harness_faults": [{"kind": "worker_crash", "bogus": 1}]}
+        )
+
+
+def test_sampled_plan_is_seed_deterministic():
+    a = HarnessFaultPlan.sampled(
+        7, 20, crashes=2, hard_crashes=1, hangs=1, torn_writes=1, sink_errors=1
+    )
+    b = HarnessFaultPlan.sampled(
+        7, 20, crashes=2, hard_crashes=1, hangs=1, torn_writes=1, sink_errors=1
+    )
+    c = HarnessFaultPlan.sampled(
+        8, 20, crashes=2, hard_crashes=1, hangs=1, torn_writes=1, sink_errors=1
+    )
+    assert a == b
+    assert a != c
+    # Job targets are distinct (drawn without replacement).
+    jobs = [f.job for f in a if hasattr(f, "job")]
+    assert len(jobs) == len(set(jobs)) == 4
+
+
+def test_sampled_plan_rejects_oversubscription():
+    with pytest.raises(HarnessFaultError, match="cannot target"):
+        HarnessFaultPlan.sampled(1, 2, crashes=3)
+
+
+# ----------------------------------------------------------------------
+# Claim semantics (the cross-process "fire exactly N times" contract)
+# ----------------------------------------------------------------------
+def test_claim_fires_exactly_times(tmp_path):
+    fault = WorkerCrash(job=0, times=2)
+    controller = HarnessFaultController(HarnessFaultPlan.of(fault), tmp_path / "s")
+    assert controller.claim(fault) is True
+    assert controller.claim(fault) is True
+    assert controller.claim(fault) is False
+    assert controller.fired(fault) == 2
+    # A second controller over the same state dir sees the exhaustion —
+    # this is what makes resume runs not re-inject already-fired faults.
+    other = HarnessFaultController(HarnessFaultPlan.of(fault), tmp_path / "s")
+    assert other.claim(fault) is False
+
+
+def test_claim_torn_write_matches_entry(tmp_path):
+    fault = TornJournalWrite(entry=3)
+    controller = HarnessFaultController(HarnessFaultPlan.of(fault), tmp_path / "s")
+    assert controller.claim_torn_write(0) is None
+    assert controller.claim_torn_write(3) is fault
+    assert controller.claim_torn_write(3) is None  # slot spent
+
+
+# ----------------------------------------------------------------------
+# Worker wrapper
+# ----------------------------------------------------------------------
+def _worker(config):
+    return f"ran:{config.seed}"
+
+
+def _index_map(configs):
+    return {config_digest(config): i for i, config in enumerate(configs)}
+
+
+def test_faulty_worker_soft_crash_then_recovers(tmp_path):
+    configs = [ScenarioConfig(seed=s) for s in (1, 2)]
+    controller = HarnessFaultController(
+        HarnessFaultPlan.of(WorkerCrash(job=0)), tmp_path / "s"
+    )
+    wrapped = controller.wrap_worker(_worker, _index_map(configs))
+    with pytest.raises(InjectedWorkerCrash):
+        wrapped(configs[0])
+    # The fault fired once; the retry succeeds and job 1 is untouched.
+    assert wrapped(configs[0]) == "ran:1"
+    assert wrapped(configs[1]) == "ran:2"
+
+
+def test_faulty_worker_corrupt_and_slowdown(tmp_path):
+    configs = [ScenarioConfig(seed=s) for s in (1, 2)]
+    controller = HarnessFaultController(
+        HarnessFaultPlan.of(
+            CorruptResult(job=0), WorkerSlowdown(job=1, seconds=0.001)
+        ),
+        tmp_path / "s",
+    )
+    wrapped = controller.wrap_worker(_worker, _index_map(configs))
+    corrupt = wrapped(configs[0])
+    assert corrupt == {"__corrupt__": "injected payload corruption"}
+    assert wrapped(configs[0]) == "ran:1"  # fault spent
+    assert wrapped(configs[1]) == "ran:2"  # slowdown still completes
+
+
+def test_faulty_worker_pickles(tmp_path):
+    import pickle
+
+    configs = [ScenarioConfig(seed=1)]
+    controller = HarnessFaultController(
+        HarnessFaultPlan.of(WorkerCrash(job=0)), tmp_path / "s"
+    )
+    wrapped = controller.wrap_worker(_worker, _index_map(configs))
+    clone = pickle.loads(pickle.dumps(wrapped))
+    # The clone shares firing state through the marker directory.
+    with pytest.raises(InjectedWorkerCrash):
+        clone(configs[0])
+    assert wrapped(configs[0]) == "ran:1"
+
+
+# ----------------------------------------------------------------------
+# Sink wrapper
+# ----------------------------------------------------------------------
+class _ListSink:
+    def __init__(self):
+        self.records = []
+        self.closed = False
+
+    def write(self, record):
+        self.records.append(record)
+
+    def close(self):
+        self.closed = True
+
+
+def test_faulty_sink_raises_on_planned_write(tmp_path):
+    controller = HarnessFaultController(
+        HarnessFaultPlan.of(SinkIOError(write=1)), tmp_path / "s"
+    )
+    sink = _ListSink()
+    faulty = controller.wrap_sink(sink)
+    faulty.write("a")
+    with pytest.raises(OSError) as excinfo:
+        faulty.write("b")
+    assert excinfo.value.errno == errno.ENOSPC
+    # One-shot: the write index moves on and the slot is spent.
+    faulty.write("c")
+    assert sink.records == ["a", "c"]
+    faulty.close()
+    assert sink.closed
