@@ -1,0 +1,85 @@
+"""Engine-throughput regression gate for CI.
+
+Runs the quick engine microbenchmark and compares its median events/s
+against the committed ``benchmarks/output/BENCH_engine.json``.  Fails
+(exit 1) when the fresh median drops below ``--threshold`` (default 0.8,
+i.e. 80%) of the committed median — the committed file is the
+performance contract this repository makes, and a silent 20% loss on the
+kernel hot path is a regression even when every test still passes.
+
+Timing on shared CI runners is noisy; the quick benchmark already takes
+the median of five rounds after a warmup, and the threshold leaves 20%
+of headroom.  Tune with ``--threshold`` or point ``--baseline`` at a
+different contract file if a runner class is systematically slower.
+
+Usage:
+    python scripts/check_bench_regression.py
+    python scripts/check_bench_regression.py --threshold 0.7
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+DEFAULT_BASELINE = REPO / "benchmarks" / "output" / "BENCH_engine.json"
+
+
+def committed_median(baseline: pathlib.Path) -> float:
+    data = json.loads(baseline.read_text())
+    metrics = data.get("metrics", {})
+    median = metrics.get("median_events_per_second")
+    if median is None:
+        # Pre-rearchitecture baseline files only carried best-of-rounds.
+        median = metrics.get("best_events_per_second")
+    if median is None:
+        raise SystemExit(f"{baseline}: no events/s metric found")
+    return float(median)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=DEFAULT_BASELINE,
+        help="committed BENCH_engine.json to compare against",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.8,
+        help="minimum fresh/committed median ratio (default 0.8)",
+    )
+    args = parser.parse_args()
+
+    from repro.bench.micro import bench_engine
+
+    baseline = committed_median(args.baseline)
+    fresh_result = bench_engine(quick=True)
+    fresh = float(fresh_result.metrics["median_events_per_second"])
+    ratio = fresh / baseline if baseline else 0.0
+    verdict = "ok" if ratio >= args.threshold else "REGRESSION"
+    print(
+        f"engine throughput: fresh median {fresh:,.0f} ev/s, committed "
+        f"{baseline:,.0f} ev/s, ratio {ratio:.2f} "
+        f"(threshold {args.threshold:.2f}) -> {verdict}"
+    )
+    if ratio < args.threshold:
+        print(
+            "The kernel hot path got slower than the committed contract allows.\n"
+            "If this is a real regression, fix it; if the committed number was\n"
+            "set on faster hardware, regenerate it there with\n"
+            "`repro bench --full --only engine`."
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -220,13 +220,16 @@ def build_parser() -> argparse.ArgumentParser:
                            help="also audit/repair this result cache directory")
 
     bench_p = sub.add_parser("bench", help="microbenchmark suite; writes BENCH_*.json")
-    bench_p.add_argument("--full", action="store_true",
-                         help="paper-scale sizes (default is quick mode)")
+    bench_mode = bench_p.add_mutually_exclusive_group()
+    bench_mode.add_argument("--full", action="store_true",
+                            help="paper-scale sizes (default is quick mode)")
+    bench_mode.add_argument("--quick", action="store_true",
+                            help="reduced sizes (the default; explicit flag for CI)")
     bench_p.add_argument("--jobs", type=int, default=0, metavar="N",
                          help="worker processes for the sweep benchmark")
     bench_p.add_argument("--only", action="append", default=None, metavar="NAME",
                          help="run one benchmark (repeatable): engine, channel, "
-                              "sweep, trace, campaign")
+                              "identity, scale, sweep, trace, campaign")
     bench_p.add_argument("--output-dir", default="benchmarks/output",
                          help="where BENCH_*.json files land (default benchmarks/output)")
 

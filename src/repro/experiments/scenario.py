@@ -35,7 +35,7 @@ from repro.net.packet import NodeId
 from repro.net.topology import Topology, choose_separated_nodes, generate_connected_topology
 from repro.routing.config import RoutingConfig
 from repro.routing.ondemand import OnDemandRouting
-from repro.sim.engine import Simulator
+from repro.sim.engine import Simulator, make_simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceLog
 from repro.traffic.generator import TrafficConfig, TrafficGenerator
@@ -205,7 +205,7 @@ def build_scenario(config: ScenarioConfig) -> Scenario:
 
 def _build_scenario(config: ScenarioConfig) -> Scenario:
     rng = RngRegistry(seed=config.seed)
-    sim = Simulator()
+    sim = make_simulator()
     trace = _build_trace(config)
     topology = generate_connected_topology(
         config.n_nodes,

@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.net.packet import Frame, NodeId
 from repro.net.radio import UnitDiskRadio
+from repro.sim import accel
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceLog
@@ -84,6 +85,18 @@ class Channel:
         A reception survives an overlap when its transmitter is at least
         this factor closer to the receiver than the interferer
         (0 disables capture: every overlap kills both frames).
+    batched:
+        Deliver each transmission's receptions with ONE scheduled event
+        (processed strictly in creation order at end-of-air-time) instead
+        of one event per receiver.  Event ordering is provably identical:
+        the per-receiver finish events always carried consecutive
+        sequence numbers, so they fired back-to-back anyway.  Defaults to
+        the stack-wide accelerator switch.
+    pooled:
+        Recycle finished Reception objects through a free list.
+        Automatically suspended while reception observers are attached
+        (observers may legitimately retain receptions).  Defaults to the
+        stack-wide accelerator switch.
     """
 
     def __init__(
@@ -95,6 +108,8 @@ class Channel:
         bandwidth_bps: float = 40_000.0,
         ambient_loss: float = 0.0,
         capture_ratio: float = 1.1,
+        batched: Optional[bool] = None,
+        pooled: Optional[bool] = None,
     ) -> None:
         if bandwidth_bps <= 0:
             raise ValueError(f"bandwidth must be positive, got {bandwidth_bps!r}")
@@ -118,6 +133,10 @@ class Channel:
         self._loss_handlers: Dict[NodeId, Callable[[float], None]] = {}
         self._tx_observers: List[Callable[[NodeId, Frame, float], None]] = []
         self._reception_observers: List[Callable[[Reception], None]] = []
+        fast = accel.features_enabled()
+        self._batched = fast if batched is None else batched
+        self._pooled = fast if pooled is None else pooled
+        self._pool: List[Reception] = []
         self.transmissions = 0
         self.collisions = 0
 
@@ -258,9 +277,10 @@ class Channel:
         in_flight = self._in_flight
         ambient_loss = self._ambient_loss
         schedule = self._sim.schedule
-        finish = self._finish_reception
+        pool = self._pool
         link_dst = frame.link_dst if on_unicast_outcome is not None else None
         destination_covered = False
+        batch: Optional[List[Reception]] = [] if self._batched else None
         for receiver, dist in self._radio.coverage_with_distance(sender, tx_range):
             if receiver not in delivery_handlers:
                 continue
@@ -269,7 +289,18 @@ class Channel:
             gate = receive_gates.get(receiver)
             if gate is not None and not gate():
                 continue
-            reception = Reception(receiver, frame, now, end, dist)
+            if pool:
+                reception = pool.pop()
+                reception.receiver = receiver
+                reception.frame = frame
+                reception.start = now
+                reception.end = end
+                reception.distance = dist
+                reception.collided = False
+                reception.lost = False
+                reception.on_outcome = None
+            else:
+                reception = Reception(receiver, frame, now, end, dist)
             if tx_until.get(receiver, 0.0) > now:
                 # Receiver is itself transmitting: misses the frame.
                 reception.collided = True
@@ -286,7 +317,17 @@ class Channel:
                 destination_covered = True
                 reception.on_outcome = on_unicast_outcome
             queue.append(reception)
-            schedule(duration, finish, reception)
+            if batch is None:
+                schedule(duration, self._finish_reception, reception)
+            else:
+                batch.append(reception)
+        if batch:
+            # One event delivers the whole audible set.  Receptions are
+            # processed strictly in creation order, each fully finished
+            # (dequeued, observed, delivered) before the next begins —
+            # indistinguishable from the per-receiver events they replace,
+            # whose consecutive sequence numbers fired back-to-back.
+            schedule(duration, self._finish_batch, batch)
         if on_unicast_outcome is not None and not destination_covered:
             # Destination out of range (or detached): the ACK never comes.
             self._sim.schedule(duration, on_unicast_outcome, False)
@@ -304,6 +345,25 @@ class Channel:
         if not new_captures and not new.collided:
             new.collided = True
             self.collisions += 1
+
+    def _finish_batch(self, batch: List[Reception]) -> None:
+        """Finish one transmission's receptions, in creation order.
+
+        Later receptions stay in their receivers' in-flight queues while
+        earlier handlers run (exactly as with per-receiver events), so
+        carrier sense and overlap resolution from re-entrant transmits
+        observe identical medium state.
+        """
+        finish = self._finish_reception
+        pool = self._pool
+        for reception in batch:
+            finish(reception)
+            if self._pooled and not self._reception_observers and len(pool) < 4096:
+                # Nothing downstream retains finished receptions (the
+                # observer check guards the one API that may): recycle.
+                reception.frame = None  # type: ignore[assignment]
+                reception.on_outcome = None
+                pool.append(reception)
 
     def _finish_reception(self, reception: Reception) -> None:
         queue = self._in_flight.get(reception.receiver)

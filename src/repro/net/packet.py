@@ -27,7 +27,7 @@ NodeId = int
 _packet_uids = itertools.count(1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Packet:
     """Base class for all protocol messages.
 
@@ -59,7 +59,7 @@ class Packet:
         return False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HelloPacket(Packet):
     """One-hop broadcast announcing a freshly deployed node (paper 4.2.1)."""
 
@@ -73,7 +73,7 @@ class HelloPacket(Packet):
         return 16
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HelloReplyPacket(Packet):
     """Authenticated reply to a HELLO, addressed to the announcer."""
 
@@ -89,7 +89,7 @@ class HelloReplyPacket(Packet):
         return 24
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NeighborListPacket(Packet):
     """Broadcast of a node's direct-neighbor list ``R_A``.
 
@@ -117,7 +117,7 @@ class NeighborListPacket(Packet):
         return None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RouteRequest(Packet):
     """Flooded on-demand route request (REQ).
 
@@ -153,7 +153,7 @@ class RouteRequest(Packet):
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RouteReply(Packet):
     """Route reply (REP), unicast hop-by-hop back toward the origin.
 
@@ -180,7 +180,7 @@ class RouteReply(Packet):
         return True
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DataPacket(Packet):
     """Application data, forwarded along an established route."""
 
@@ -202,7 +202,7 @@ class DataPacket(Packet):
         return False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RouteErrorPacket(Packet):
     """Broadcast by a node that *cannot* forward a packet it was handed
     (no reverse pointer, or the next hop has been revoked).
@@ -226,7 +226,7 @@ class RouteErrorPacket(Packet):
         return 24
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HeartbeatPacket(Packet):
     """One-hop liveness beacon (liveness refinement, DESIGN.md 5b item 5).
 
@@ -246,7 +246,7 @@ class HeartbeatPacket(Packet):
         return 12
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProbePacket(Packet):
     """Unicast liveness probe sent to a SUSPECT neighbor."""
 
@@ -262,7 +262,7 @@ class ProbePacket(Packet):
         return 16
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProbeAckPacket(Packet):
     """Reply to a :class:`ProbePacket`, echoing its nonce."""
 
@@ -278,7 +278,7 @@ class ProbeAckPacket(Packet):
         return 16
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NoisePacket(Packet):
     """Meaningless filler traffic used by the MAC-saturation fault.
 
@@ -302,7 +302,7 @@ class NoisePacket(Packet):
         return False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AlertPacket(Packet):
     """Authenticated accusation sent by a guard to a neighbor of the accused.
 
@@ -325,7 +325,7 @@ class AlertPacket(Packet):
         return 24
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AlertAckPacket(Packet):
     """Authenticated acknowledgment of a received alert.
 
@@ -350,7 +350,7 @@ class AlertAckPacket(Packet):
         return 24
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Frame:
     """Link-layer transmission unit.
 

@@ -6,12 +6,22 @@ that: node B hears node A iff their distance is at most A's transmit range.
 Per-node range overrides support the high-power-transmission wormhole mode
 (section 3.3), which breaks symmetry on purpose — the defense's symmetric-
 channel assumption is what detects it.
+
+Coverage queries are served by a :class:`~repro.net.grid.SpatialGrid`
+(cell size = the default range) so a broadcast touches only the nodes in
+adjacent cells instead of scanning all n positions.  The brute-force
+scans survive as ``_brute_*`` methods: they are the semantic reference
+(the property tests assert the grid matches them exactly) and the code
+path used under ``repro.sim.accel.reference_mode``.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.net.grid import SpatialGrid
+from repro.sim import accel
 
 NodeId = int
 Position = Tuple[float, float]
@@ -31,9 +41,18 @@ class UnitDiskRadio:
         Mapping node id -> (x, y) in metres.
     default_range:
         Communication range r applied to every node unless overridden.
+    use_grid:
+        Force the spatial index on/off.  Defaults to the stack-wide
+        accelerator switch (:func:`repro.sim.accel.features_enabled`);
+        results are identical either way, only the query cost differs.
     """
 
-    def __init__(self, positions: Dict[NodeId, Position], default_range: float = 30.0) -> None:
+    def __init__(
+        self,
+        positions: Dict[NodeId, Position],
+        default_range: float = 30.0,
+        use_grid: Optional[bool] = None,
+    ) -> None:
         if default_range <= 0:
             raise ValueError(f"range must be positive, got {default_range!r}")
         self._positions = dict(positions)
@@ -47,11 +66,24 @@ class UnitDiskRadio:
             Tuple[NodeId, float], Tuple[Tuple[NodeId, float], ...]
         ] = {}
         self._pair_distances: Dict[Tuple[NodeId, NodeId], float] = {}
+        self._use_grid = accel.features_enabled() if use_grid is None else use_grid
+        self._grid: Optional[SpatialGrid] = (
+            SpatialGrid(self._positions, self._default_range) if self._use_grid else None
+        )
+        #: Euclidean distance evaluations performed by coverage queries
+        #: (grid candidates or brute scans).  The scaling regression test
+        #: asserts a broadcast at n=1000 stays O(neighbors) on this.
+        self.distance_computations = 0
 
     @property
     def default_range(self) -> float:
         """The network-wide communication range r."""
         return self._default_range
+
+    @property
+    def uses_grid_index(self) -> bool:
+        """Whether coverage queries go through the spatial grid."""
+        return self._grid is not None
 
     @property
     def node_ids(self) -> List[NodeId]:
@@ -64,7 +96,13 @@ class UnitDiskRadio:
 
     def set_position(self, node: NodeId, position: Position) -> None:
         """Move a node (mobility extension); invalidates all distance memos."""
+        known = node in self._positions
         self._positions[node] = position
+        if self._grid is not None:
+            if known:
+                self._grid.move(node, position)
+            else:
+                self._grid.insert(node, position)
         self._coverage_cache.clear()
         self._coverage_dist_cache.clear()
         self._pair_distances.clear()
@@ -81,6 +119,7 @@ class UnitDiskRadio:
         if cached is None:
             positions = self._positions
             cached = distance(positions[a], positions[b])
+            self.distance_computations += 1
             self._pair_distances[key] = cached
         return cached
 
@@ -89,7 +128,12 @@ class UnitDiskRadio:
         return self._range_overrides.get(node, self._default_range)
 
     def set_tx_range(self, node: NodeId, tx_range: float) -> None:
-        """Give ``node`` a non-default transmit range (high-power attacker)."""
+        """Give ``node`` a non-default transmit range (high-power attacker).
+
+        The grid's cell layout is keyed to the default range, so an
+        override larger than a cell just widens the query ring — no
+        reindexing is needed.
+        """
         if tx_range <= 0:
             raise ValueError(f"range must be positive, got {tx_range!r}")
         self._range_overrides[node] = float(tx_range)
@@ -120,7 +164,8 @@ class UnitDiskRadio:
         This is the channel's per-transmission hot path: the receiver set
         *and* every receiver's distance are fixed for a static topology,
         so both are computed once per ``(sender, range)`` and replayed on
-        every subsequent transmission.
+        every subsequent transmission.  The grid answers the query in
+        O(neighbors); ordering matches the brute scan exactly.
         """
         if tx_range is None:
             tx_range = self.tx_range(sender)
@@ -128,17 +173,32 @@ class UnitDiskRadio:
         cached = self._coverage_dist_cache.get(cache_key)
         if cached is not None:
             return cached
+        if self._grid is not None:
+            hits = self._grid.query_disk(
+                self._positions[sender], tx_range, exclude=sender
+            )
+            self.distance_computations += self._grid.distance_computations
+            self._grid.distance_computations = 0
+            covered = tuple(hits)
+        else:
+            covered = self._brute_coverage_with_distance(sender, tx_range)
+        self._coverage_dist_cache[cache_key] = covered
+        return covered
+
+    def _brute_coverage_with_distance(
+        self, sender: NodeId, tx_range: float
+    ) -> Tuple[Tuple[NodeId, float], ...]:
+        """Reference O(n) scan; the grid must reproduce this bit-for-bit."""
         origin = self._positions[sender]
         pairs = []
         for node, pos in self._positions.items():
             if node == sender:
                 continue
             dist = distance(origin, pos)
+            self.distance_computations += 1
             if dist <= tx_range:
                 pairs.append((node, dist))
-        covered = tuple(pairs)
-        self._coverage_dist_cache[cache_key] = covered
-        return covered
+        return tuple(pairs)
 
     def neighbors(self, node: NodeId) -> Tuple[NodeId, ...]:
         """Symmetric neighbors at the *default* range.
@@ -155,12 +215,52 @@ class UnitDiskRadio:
         return self.distance_between(a, b) <= self._default_range
 
     def common_neighbors(self, a: NodeId, b: NodeId) -> Tuple[NodeId, ...]:
-        """Nodes within default range of both a and b — guard candidates."""
+        """Nodes within default range of both a and b — guard candidates.
+
+        Served from the grid-backed (and cached) neighbor sets, so a
+        guard-set query costs two cell-ring lookups, not two O(n) scans.
+        """
         near_a = set(self.neighbors(a))
         return tuple(n for n in self.neighbors(b) if n in near_a)
 
+    def _brute_common_neighbors(self, a: NodeId, b: NodeId) -> Tuple[NodeId, ...]:
+        """Reference implementation over brute-force coverage scans."""
+        near_a = {n for n, _ in self._brute_coverage_with_distance(a, self._default_range)}
+        return tuple(
+            n
+            for n, _ in self._brute_coverage_with_distance(b, self._default_range)
+            if n in near_a
+        )
+
     def audible_from(self, receiver: NodeId, senders: Iterable[NodeId]) -> List[NodeId]:
-        """Subset of ``senders`` whose transmissions reach ``receiver``."""
+        """Subset of ``senders`` whose transmissions reach ``receiver``.
+
+        One disk query around the receiver (radius = the largest sender
+        range) answers for all senders at once; order follows ``senders``.
+        """
+        senders = list(senders)
+        if self._grid is None:
+            return self._brute_audible_from(receiver, senders)
+        others = [s for s in senders if s != receiver]
+        if not others:
+            return []
+        radius = max(self.tx_range(s) for s in others)
+        hits = self._grid.query_disk(
+            self._positions[receiver], radius, exclude=receiver
+        )
+        self.distance_computations += self._grid.distance_computations
+        self._grid.distance_computations = 0
+        in_range = dict(hits)
+        return [
+            s
+            for s in others
+            if s in in_range and in_range[s] <= self.tx_range(s)
+        ]
+
+    def _brute_audible_from(
+        self, receiver: NodeId, senders: Iterable[NodeId]
+    ) -> List[NodeId]:
+        """Reference per-pair scan over the senders list."""
         result = []
         for sender in senders:
             if sender == receiver:

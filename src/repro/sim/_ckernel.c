@@ -1,0 +1,963 @@
+/* Accelerated discrete-event kernel.
+ *
+ * A drop-in replacement for repro.sim.engine.Simulator implementing the
+ * identical scheduling semantics — events fire in non-decreasing time
+ * order with FIFO tie-breaking by scheduling sequence, cancellation is
+ * O(1), `run(until=...)` is a closed interval — at C speed.
+ *
+ * Queue structure (the "timer wheel" of docs/PERFORMANCE.md):
+ *
+ *   - a slot ring of NSLOTS buckets, each WHEEL_WIDTH seconds wide,
+ *     covering the near future [cursor, cursor + NSLOTS * width).  The
+ *     short-deadline timer traffic that dominates simulation runs
+ *     (frame receptions, watch-buffer expiries, retry backoff, MAC
+ *     waits) lands here with O(1) pushes; a bucket is lazily heapified
+ *     the first time the dispatch loop drains it, so intra-bucket
+ *     (time, seq) order is exact.
+ *   - a far binary heap for events beyond the wheel horizon.
+ *
+ * Correct interleaving does not rely on migrating far events into the
+ * wheel: every pop lexicographically compares the wheel minimum and the
+ * far-heap minimum on (time, seq), so an event that was classified
+ * "far" when scheduled still fires in exactly the right place.
+ *
+ * Cancelled events stay in place and are skipped when popped (same as
+ * the pure-Python engine).  When the queue grows past a threshold with
+ * a high dead fraction, it is compacted in place so cancel-heavy long
+ * campaigns stop carrying dead entries (see maybe_compact).
+ *
+ * Built on demand by repro.sim.accel; the pure-Python engine remains
+ * the reference implementation and the fallback.
+ */
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <structmember.h>
+#include <math.h>
+#include <string.h>
+
+#define NSLOTS 4096u            /* power of two */
+#define SLOT_MASK (NSLOTS - 1u)
+#define BITS_WORDS (NSLOTS / 64u)
+#define DEFAULT_WIDTH 1e-3      /* seconds per slot */
+/* Saturation bound for time->slot conversion: far below 2^63 so that
+ * cursor + NSLOTS can never overflow. */
+#define SLOT_SAT ((unsigned long long)1 << 62)
+
+/* The exception class raised for scheduler misuse.  Injected from
+ * repro.sim.engine so callers catch the same SimulationError whichever
+ * engine is active; falls back to RuntimeError if never set. */
+static PyObject *sim_error = NULL;
+
+static PyObject *
+error_class(void)
+{
+    return sim_error ? sim_error : PyExc_RuntimeError;
+}
+
+/* ------------------------------------------------------------------ */
+/* Event                                                              */
+/* ------------------------------------------------------------------ */
+typedef struct {
+    PyObject_HEAD
+    double time;
+    unsigned long long seq;
+    PyObject *callback;
+    PyObject *args;     /* tuple or NULL */
+    PyObject *kwargs;   /* dict or NULL */
+    char cancelled;
+    char fired;
+} EventObj;
+
+static PyTypeObject EventType;
+
+static void
+Event_dealloc(EventObj *self)
+{
+    PyObject_GC_UnTrack(self);
+    Py_CLEAR(self->callback);
+    Py_CLEAR(self->args);
+    Py_CLEAR(self->kwargs);
+    PyObject_GC_Del(self);
+}
+
+static int
+Event_traverse(EventObj *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->callback);
+    Py_VISIT(self->args);
+    Py_VISIT(self->kwargs);
+    return 0;
+}
+
+static int
+Event_clear_gc(EventObj *self)
+{
+    Py_CLEAR(self->callback);
+    Py_CLEAR(self->args);
+    Py_CLEAR(self->kwargs);
+    return 0;
+}
+
+static PyObject *
+Event_cancel(EventObj *self, PyObject *Py_UNUSED(ignored))
+{
+    if (!self->fired)
+        self->cancelled = 1;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Event_get_cancelled(EventObj *self, void *closure)
+{
+    return PyBool_FromLong(self->cancelled);
+}
+
+static PyObject *
+Event_get_fired(EventObj *self, void *closure)
+{
+    return PyBool_FromLong(self->fired);
+}
+
+static PyObject *
+Event_get_pending(EventObj *self, void *closure)
+{
+    return PyBool_FromLong(!(self->cancelled || self->fired));
+}
+
+static PyObject *
+Event_repr(EventObj *self)
+{
+    const char *state = self->cancelled ? "cancelled"
+                        : (self->fired ? "fired" : "pending");
+    return PyUnicode_FromFormat("<Event t=%R %R [%s]>",
+                                PyFloat_FromDouble(self->time),
+                                self->callback, state);
+}
+
+static PyMethodDef Event_methods[] = {
+    {"cancel", (PyCFunction)Event_cancel, METH_NOARGS,
+     "Prevent the callback from running.  Idempotent."},
+    {NULL}
+};
+
+static PyGetSetDef Event_getset[] = {
+    {"cancelled", (getter)Event_get_cancelled, NULL,
+     "Whether cancel() was called before the event fired.", NULL},
+    {"fired", (getter)Event_get_fired, NULL,
+     "Whether the event's callback has run.", NULL},
+    {"pending", (getter)Event_get_pending, NULL,
+     "Whether the event is still waiting to fire.", NULL},
+    {NULL}
+};
+
+static PyMemberDef Event_members[] = {
+    {"time", T_DOUBLE, offsetof(EventObj, time), READONLY,
+     "Absolute virtual time at which the event fires."},
+    {"callback", T_OBJECT, offsetof(EventObj, callback), READONLY, ""},
+    {"args", T_OBJECT, offsetof(EventObj, args), READONLY, ""},
+    {"kwargs", T_OBJECT, offsetof(EventObj, kwargs), READONLY, ""},
+    {NULL}
+};
+
+static PyTypeObject EventType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim._ckernel.Event",
+    .tp_basicsize = sizeof(EventObj),
+    .tp_dealloc = (destructor)Event_dealloc,
+    .tp_repr = (reprfunc)Event_repr,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_traverse = (traverseproc)Event_traverse,
+    .tp_clear = (inquiry)Event_clear_gc,
+    .tp_methods = Event_methods,
+    .tp_getset = Event_getset,
+    .tp_members = Event_members,
+    .tp_doc = "A scheduled callback (accelerated kernel).",
+};
+
+/* ------------------------------------------------------------------ */
+/* Queue storage                                                      */
+/* ------------------------------------------------------------------ */
+typedef struct {
+    double time;
+    unsigned long long seq;
+    EventObj *ev;               /* strong reference */
+} Entry;
+
+#define ENTRY_LT(a, b) \
+    ((a).time < (b).time || ((a).time == (b).time && (a).seq < (b).seq))
+
+typedef struct {
+    Entry *data;
+    Py_ssize_t size;
+    Py_ssize_t cap;
+    char heapified;
+} Bucket;
+
+static int
+bucket_reserve(Bucket *b, Py_ssize_t extra)
+{
+    if (b->size + extra <= b->cap)
+        return 0;
+    Py_ssize_t cap = b->cap ? b->cap * 2 : 8;
+    while (cap < b->size + extra)
+        cap *= 2;
+    Entry *data = PyMem_Realloc(b->data, (size_t)cap * sizeof(Entry));
+    if (!data) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    b->data = data;
+    b->cap = cap;
+    return 0;
+}
+
+static void
+heap_sift_up(Entry *data, Py_ssize_t i)
+{
+    Entry e = data[i];
+    while (i > 0) {
+        Py_ssize_t p = (i - 1) >> 1;
+        if (ENTRY_LT(e, data[p])) {
+            data[i] = data[p];
+            i = p;
+        } else
+            break;
+    }
+    data[i] = e;
+}
+
+static void
+heap_sift_down(Entry *data, Py_ssize_t n, Py_ssize_t i)
+{
+    Entry e = data[i];
+    for (;;) {
+        Py_ssize_t c = 2 * i + 1;
+        if (c >= n)
+            break;
+        if (c + 1 < n && ENTRY_LT(data[c + 1], data[c]))
+            c++;
+        if (ENTRY_LT(data[c], e)) {
+            data[i] = data[c];
+            i = c;
+        } else
+            break;
+    }
+    data[i] = e;
+}
+
+static void
+heapify(Entry *data, Py_ssize_t n)
+{
+    for (Py_ssize_t i = n / 2 - 1; i >= 0; i--)
+        heap_sift_down(data, n, i);
+}
+
+/* ------------------------------------------------------------------ */
+/* Simulator                                                          */
+/* ------------------------------------------------------------------ */
+typedef struct {
+    PyObject_HEAD
+    double now;
+    double width;               /* slot width, seconds */
+    unsigned long long seq;
+    unsigned long long cursor;  /* absolute slot index, monotone */
+    Bucket slots[NSLOTS];
+    uint64_t bits[BITS_WORDS];  /* slot occupancy bitmap (ring index) */
+    Py_ssize_t wheel_count;
+    Bucket far;                 /* overflow heap, always heap-ordered */
+    unsigned long long processed;
+    Py_ssize_t last_live;       /* live count at last compaction check */
+    unsigned long long compactions;
+    char running;
+} SimObj;
+
+static inline void
+bit_set(SimObj *self, unsigned ring)
+{
+    self->bits[ring >> 6] |= (uint64_t)1 << (ring & 63u);
+}
+
+static inline void
+bit_clear(SimObj *self, unsigned ring)
+{
+    self->bits[ring >> 6] &= ~((uint64_t)1 << (ring & 63u));
+}
+
+/* Absolute slot index for time t, saturated so arithmetic never
+ * overflows.  Caller guarantees t >= 0 contextually (t >= now). */
+static inline unsigned long long
+slot_of(SimObj *self, double t)
+{
+    double ds = t / self->width;
+    if (ds >= (double)SLOT_SAT)
+        return SLOT_SAT;
+    if (ds < 0.0)
+        return 0;
+    return (unsigned long long)ds;
+}
+
+/* Distance (in ring positions) from `from` to the next set bit at or
+ * after it; NSLOTS when no bit is set.  `from` is a ring index. */
+static unsigned
+next_set_bit(SimObj *self, unsigned from)
+{
+    unsigned word = from >> 6;
+    unsigned off = from & 63u;
+    uint64_t w = self->bits[word] >> off;
+    if (w)
+        return (unsigned)__builtin_ctzll(w);
+    unsigned dist = 64u - off;
+    for (unsigned i = 1; i <= BITS_WORDS; i++) {
+        uint64_t v = self->bits[(word + i) & (BITS_WORDS - 1u)];
+        if (v)
+            return dist + (unsigned)__builtin_ctzll(v);
+        dist += 64u;
+        if (dist >= NSLOTS)
+            break;
+    }
+    return NSLOTS;
+}
+
+/* Push an entry (steals the Entry's reference to ev). */
+static int
+queue_push(SimObj *self, Entry e)
+{
+    unsigned long long s = slot_of(self, e.time);
+    if (s < self->cursor)
+        s = self->cursor;
+    if (s - self->cursor < NSLOTS) {
+        Bucket *b = &self->slots[(unsigned)(s & SLOT_MASK)];
+        if (bucket_reserve(b, 1) < 0)
+            return -1;
+        b->data[b->size++] = e;
+        if (b->heapified)
+            heap_sift_up(b->data, b->size - 1);
+        bit_set(self, (unsigned)(s & SLOT_MASK));
+        self->wheel_count++;
+    } else {
+        Bucket *f = &self->far;
+        if (bucket_reserve(f, 1) < 0)
+            return -1;
+        f->data[f->size++] = e;
+        heap_sift_up(f->data, f->size - 1);
+    }
+    return 0;
+}
+
+/* Advance the cursor to keep pace with the clock.  Entries never live
+ * behind floor(now / width): every queued event has time >= now. */
+static inline void
+cursor_catch_up(SimObj *self)
+{
+    unsigned long long s = slot_of(self, self->now);
+    if (s > self->cursor)
+        self->cursor = s;
+}
+
+/* Locate the queue minimum.  Returns the bucket holding it (heapified,
+ * minimum at data[0]) or NULL when the queue is empty.  Advances the
+ * cursor over empty slots as a side effect (order-neutral). */
+static Bucket *
+queue_min(SimObj *self)
+{
+    Bucket *wheel_best = NULL;
+    if (self->wheel_count) {
+        cursor_catch_up(self);
+        unsigned ring = (unsigned)(self->cursor & SLOT_MASK);
+        unsigned dist = next_set_bit(self, ring);
+        if (dist >= NSLOTS) {
+            /* Bitmap and count disagree: cannot happen, but stay safe. */
+            self->wheel_count = 0;
+        } else {
+            self->cursor += dist;
+            Bucket *b = &self->slots[(unsigned)(self->cursor & SLOT_MASK)];
+            if (!b->heapified) {
+                heapify(b->data, b->size);
+                b->heapified = 1;
+            }
+            wheel_best = b;
+        }
+    }
+    Bucket *f = self->far.size ? &self->far : NULL;
+    if (wheel_best && f)
+        return ENTRY_LT(f->data[0], wheel_best->data[0]) ? f : wheel_best;
+    return wheel_best ? wheel_best : f;
+}
+
+/* Pop the minimum entry out of `b` (as returned by queue_min). */
+static Entry
+queue_pop_from(SimObj *self, Bucket *b)
+{
+    Entry top = b->data[0];
+    b->data[0] = b->data[--b->size];
+    if (b->size)
+        heap_sift_down(b->data, b->size, 0);
+    if (b != &self->far) {
+        self->wheel_count--;
+        if (b->size == 0) {
+            b->heapified = 0;
+            bit_clear(self, (unsigned)(self->cursor & SLOT_MASK));
+        }
+    }
+    return top;
+}
+
+static Py_ssize_t
+queue_total(SimObj *self)
+{
+    return self->wheel_count + self->far.size;
+}
+
+/* Drop cancelled/fired entries everywhere.  Heap order inside each
+ * filtered bucket is preserved by re-heapifying. */
+static void
+queue_compact(SimObj *self)
+{
+    Py_ssize_t live_wheel = 0;
+    for (unsigned i = 0; i < NSLOTS; i++) {
+        Bucket *b = &self->slots[i];
+        if (!b->size)
+            continue;
+        Py_ssize_t w = 0;
+        for (Py_ssize_t r = 0; r < b->size; r++) {
+            EventObj *ev = b->data[r].ev;
+            if (ev->cancelled || ev->fired)
+                Py_DECREF(ev);
+            else
+                b->data[w++] = b->data[r];
+        }
+        b->size = w;
+        if (!w) {
+            b->heapified = 0;
+            bit_clear(self, i);
+        } else if (b->heapified)
+            heapify(b->data, w);
+        live_wheel += w;
+    }
+    self->wheel_count = live_wheel;
+    Bucket *f = &self->far;
+    Py_ssize_t w = 0;
+    for (Py_ssize_t r = 0; r < f->size; r++) {
+        EventObj *ev = f->data[r].ev;
+        if (ev->cancelled || ev->fired)
+            Py_DECREF(ev);
+        else
+            f->data[w++] = f->data[r];
+    }
+    f->size = w;
+    heapify(f->data, w);
+    self->compactions++;
+    self->last_live = queue_total(self);
+}
+
+/* Amortized compaction: when the queue has doubled since the last
+ * check, count the dead fraction and compact if it exceeds 25%. */
+static void
+maybe_compact(SimObj *self)
+{
+    Py_ssize_t total = queue_total(self);
+    if (total < 8192 || total <= 2 * self->last_live)
+        return;
+    Py_ssize_t live = 0;
+    for (unsigned i = 0; i < NSLOTS; i++) {
+        Bucket *b = &self->slots[i];
+        for (Py_ssize_t r = 0; r < b->size; r++) {
+            EventObj *ev = b->data[r].ev;
+            live += !(ev->cancelled || ev->fired);
+        }
+    }
+    for (Py_ssize_t r = 0; r < self->far.size; r++) {
+        EventObj *ev = self->far.data[r].ev;
+        live += !(ev->cancelled || ev->fired);
+    }
+    if ((total - live) * 4 >= total)
+        queue_compact(self);
+    else
+        self->last_live = live;
+}
+
+/* ------------------------------------------------------------------ */
+/* Simulator type methods                                             */
+/* ------------------------------------------------------------------ */
+static void
+Sim_dealloc(SimObj *self)
+{
+    PyObject_GC_UnTrack(self);
+    for (unsigned i = 0; i < NSLOTS; i++) {
+        Bucket *b = &self->slots[i];
+        for (Py_ssize_t r = 0; r < b->size; r++)
+            Py_DECREF(b->data[r].ev);
+        PyMem_Free(b->data);
+    }
+    for (Py_ssize_t r = 0; r < self->far.size; r++)
+        Py_DECREF(self->far.data[r].ev);
+    PyMem_Free(self->far.data);
+    PyObject_GC_Del(self);
+}
+
+static int
+Sim_traverse(SimObj *self, visitproc visit, void *arg)
+{
+    for (unsigned i = 0; i < NSLOTS; i++) {
+        Bucket *b = &self->slots[i];
+        for (Py_ssize_t r = 0; r < b->size; r++)
+            Py_VISIT(b->data[r].ev);
+    }
+    for (Py_ssize_t r = 0; r < self->far.size; r++)
+        Py_VISIT(self->far.data[r].ev);
+    return 0;
+}
+
+static int
+Sim_clear_gc(SimObj *self)
+{
+    for (unsigned i = 0; i < NSLOTS; i++) {
+        Bucket *b = &self->slots[i];
+        Py_ssize_t n = b->size;
+        b->size = 0;
+        b->heapified = 0;
+        for (Py_ssize_t r = 0; r < n; r++)
+            Py_DECREF(b->data[r].ev);
+    }
+    memset(self->bits, 0, sizeof(self->bits));
+    self->wheel_count = 0;
+    Py_ssize_t n = self->far.size;
+    self->far.size = 0;
+    for (Py_ssize_t r = 0; r < n; r++)
+        Py_DECREF(self->far.data[r].ev);
+    return 0;
+}
+
+static PyObject *
+Sim_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"start_time", "wheel_width", NULL};
+    double start_time = 0.0;
+    double width = DEFAULT_WIDTH;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "|dd", kwlist,
+                                     &start_time, &width))
+        return NULL;
+    if (!(width > 0.0) || !isfinite(width)) {
+        PyErr_SetString(error_class(), "wheel_width must be positive and finite");
+        return NULL;
+    }
+    SimObj *self = (SimObj *)type->tp_alloc(type, 0);
+    if (!self)
+        return NULL;
+    self->now = start_time;
+    self->width = width;
+    self->seq = 0;
+    self->processed = 0;
+    self->wheel_count = 0;
+    self->last_live = 0;
+    self->compactions = 0;
+    self->running = 0;
+    memset(self->slots, 0, sizeof(self->slots));
+    memset(self->bits, 0, sizeof(self->bits));
+    memset(&self->far, 0, sizeof(self->far));
+    self->cursor = slot_of(self, start_time);
+    return (PyObject *)self;
+}
+
+/* Shared scheduling core: build the Event, push, return it. */
+static PyObject *
+schedule_common(SimObj *self, double time, PyObject *const *args,
+                Py_ssize_t nargs, PyObject *kwnames)
+{
+    EventObj *ev = PyObject_GC_New(EventObj, &EventType);
+    if (!ev)
+        return NULL;
+    ev->time = time;
+    ev->seq = self->seq++;
+    ev->callback = Py_NewRef(args[1]);
+    ev->cancelled = 0;
+    ev->fired = 0;
+    ev->args = NULL;
+    ev->kwargs = NULL;
+    if (nargs > 2) {
+        ev->args = PyTuple_New(nargs - 2);
+        if (!ev->args) {
+            Py_DECREF(ev);
+            return NULL;
+        }
+        for (Py_ssize_t i = 2; i < nargs; i++)
+            PyTuple_SET_ITEM(ev->args, i - 2, Py_NewRef(args[i]));
+    }
+    if (kwnames && PyTuple_GET_SIZE(kwnames)) {
+        ev->kwargs = PyDict_New();
+        if (!ev->kwargs) {
+            Py_DECREF(ev);
+            return NULL;
+        }
+        for (Py_ssize_t i = 0; i < PyTuple_GET_SIZE(kwnames); i++) {
+            if (PyDict_SetItem(ev->kwargs, PyTuple_GET_ITEM(kwnames, i),
+                               args[nargs + i]) < 0) {
+                Py_DECREF(ev);
+                return NULL;
+            }
+        }
+    }
+    PyObject_GC_Track((PyObject *)ev);
+    Entry e = {time, ev->seq, (EventObj *)Py_NewRef((PyObject *)ev)};
+    if (queue_push(self, e) < 0) {
+        Py_DECREF(ev);  /* queue's reference */
+        Py_DECREF(ev);
+        return NULL;
+    }
+    maybe_compact(self);
+    return (PyObject *)ev;
+}
+
+static PyObject *
+Sim_schedule(SimObj *self, PyObject *const *args, Py_ssize_t nargs,
+             PyObject *kwnames)
+{
+    if (nargs < 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "schedule(delay, callback, *args, **kwargs)");
+        return NULL;
+    }
+    double delay = PyFloat_AsDouble(args[0]);
+    if (delay == -1.0 && PyErr_Occurred())
+        return NULL;
+    if (!isfinite(delay)) {
+        PyErr_Format(error_class(), "delay must be finite, got %R", args[0]);
+        return NULL;
+    }
+    if (delay < 0.0) {
+        PyErr_Format(error_class(), "delay must be non-negative, got %R",
+                     args[0]);
+        return NULL;
+    }
+    return schedule_common(self, self->now + delay, args, nargs, kwnames);
+}
+
+static PyObject *
+Sim_schedule_at(SimObj *self, PyObject *const *args, Py_ssize_t nargs,
+                PyObject *kwnames)
+{
+    if (nargs < 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "schedule_at(time, callback, *args, **kwargs)");
+        return NULL;
+    }
+    double time = PyFloat_AsDouble(args[0]);
+    if (time == -1.0 && PyErr_Occurred())
+        return NULL;
+    if (!isfinite(time)) {
+        PyErr_Format(error_class(), "event time must be finite, got %R",
+                     args[0]);
+        return NULL;
+    }
+    if (time < self->now) {
+        PyErr_Format(error_class(),
+                     "cannot schedule in the past: t=%R < now=%R", args[0],
+                     PyFloat_FromDouble(self->now));
+        return NULL;
+    }
+    return schedule_common(self, time, args, nargs, kwnames);
+}
+
+static PyObject *
+call_event(EventObj *ev)
+{
+    if (ev->kwargs) {
+        PyObject *args = ev->args;
+        if (!args) {
+            args = PyTuple_New(0);
+            if (!args)
+                return NULL;
+            PyObject *r = PyObject_Call(ev->callback, args, ev->kwargs);
+            Py_DECREF(args);
+            return r;
+        }
+        return PyObject_Call(ev->callback, args, ev->kwargs);
+    }
+    if (ev->args)
+        return PyObject_CallObject(ev->callback, ev->args);
+    return PyObject_CallNoArgs(ev->callback);
+}
+
+static PyObject *
+Sim_run(SimObj *self, PyObject *const *args, Py_ssize_t nargs,
+        PyObject *kwnames)
+{
+    PyObject *until_obj = NULL;
+    PyObject *max_obj = NULL;
+    if (nargs >= 1)
+        until_obj = args[0];
+    if (nargs >= 2)
+        max_obj = args[1];
+    if (nargs > 2) {
+        PyErr_SetString(PyExc_TypeError, "run(until=None, max_events=None)");
+        return NULL;
+    }
+    if (kwnames) {
+        for (Py_ssize_t i = 0; i < PyTuple_GET_SIZE(kwnames); i++) {
+            PyObject *name = PyTuple_GET_ITEM(kwnames, i);
+            PyObject *value = args[nargs + i];
+            if (PyUnicode_CompareWithASCIIString(name, "until") == 0)
+                until_obj = value;
+            else if (PyUnicode_CompareWithASCIIString(name, "max_events") == 0)
+                max_obj = value;
+            else {
+                PyErr_Format(PyExc_TypeError,
+                             "run() got an unexpected keyword argument %R",
+                             name);
+                return NULL;
+            }
+        }
+    }
+    int has_until = until_obj && until_obj != Py_None;
+    double until = 0.0;
+    if (has_until) {
+        until = PyFloat_AsDouble(until_obj);
+        if (until == -1.0 && PyErr_Occurred())
+            return NULL;
+        if (until < self->now) {
+            PyErr_Format(error_class(), "until=%R is in the past (now=%R)",
+                         until_obj, PyFloat_FromDouble(self->now));
+            return NULL;
+        }
+    }
+    int has_max = max_obj && max_obj != Py_None;
+    long long max_events = 0;
+    if (has_max) {
+        max_events = PyLong_AsLongLong(max_obj);
+        if (max_events == -1 && PyErr_Occurred())
+            return NULL;
+    }
+    if (self->running) {
+        PyErr_SetString(error_class(),
+                        "simulator is already running (re-entrant run())");
+        return NULL;
+    }
+    self->running = 1;
+    long long executed = 0;
+    while (queue_total(self)) {
+        Bucket *b = queue_min(self);
+        if (!b)
+            break;
+        if (has_until && b->data[0].time > until)
+            break;
+        Entry e = queue_pop_from(self, b);
+        EventObj *ev = e.ev;
+        if (ev->cancelled || ev->fired) {
+            Py_DECREF(ev);
+            continue;
+        }
+        self->now = e.time;
+        ev->fired = 1;
+        PyObject *r = call_event(ev);
+        Py_DECREF(ev);
+        if (!r) {
+            self->running = 0;
+            return NULL;
+        }
+        Py_DECREF(r);
+        self->processed++;
+        executed++;
+        if (has_max && executed >= max_events)
+            break;
+    }
+    if (has_until && self->now < until)
+        self->now = until;
+    self->running = 0;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Sim_step(SimObj *self, PyObject *Py_UNUSED(ignored))
+{
+    while (queue_total(self)) {
+        Bucket *b = queue_min(self);
+        if (!b)
+            break;
+        Entry e = queue_pop_from(self, b);
+        EventObj *ev = e.ev;
+        if (ev->cancelled || ev->fired) {
+            Py_DECREF(ev);
+            continue;
+        }
+        self->now = e.time;
+        ev->fired = 1;
+        PyObject *r = call_event(ev);
+        Py_DECREF(ev);
+        if (!r)
+            return NULL;
+        Py_DECREF(r);
+        self->processed++;
+        Py_RETURN_TRUE;
+    }
+    Py_RETURN_FALSE;
+}
+
+static PyObject *
+Sim_peek_time(SimObj *self, PyObject *Py_UNUSED(ignored))
+{
+    while (queue_total(self)) {
+        Bucket *b = queue_min(self);
+        if (!b)
+            break;
+        EventObj *ev = b->data[0].ev;
+        if (!(ev->cancelled || ev->fired))
+            return PyFloat_FromDouble(b->data[0].time);
+        Entry e = queue_pop_from(self, b);
+        Py_DECREF(e.ev);
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Sim_compact(SimObj *self, PyObject *Py_UNUSED(ignored))
+{
+    queue_compact(self);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Sim_get_now(SimObj *self, void *closure)
+{
+    return PyFloat_FromDouble(self->now);
+}
+
+static PyObject *
+Sim_get_processed(SimObj *self, void *closure)
+{
+    return PyLong_FromUnsignedLongLong(self->processed);
+}
+
+static PyObject *
+Sim_get_pending_count(SimObj *self, void *closure)
+{
+    Py_ssize_t live = 0;
+    for (unsigned i = 0; i < NSLOTS; i++) {
+        Bucket *b = &self->slots[i];
+        for (Py_ssize_t r = 0; r < b->size; r++) {
+            EventObj *ev = b->data[r].ev;
+            live += !(ev->cancelled || ev->fired);
+        }
+    }
+    for (Py_ssize_t r = 0; r < self->far.size; r++) {
+        EventObj *ev = self->far.data[r].ev;
+        live += !(ev->cancelled || ev->fired);
+    }
+    return PyLong_FromSsize_t(live);
+}
+
+static PyObject *
+Sim_get_queue_depth(SimObj *self, void *closure)
+{
+    return PyLong_FromSsize_t(queue_total(self));
+}
+
+static PyObject *
+Sim_get_wheel_count(SimObj *self, void *closure)
+{
+    return PyLong_FromSsize_t(self->wheel_count);
+}
+
+static PyObject *
+Sim_get_far_count(SimObj *self, void *closure)
+{
+    return PyLong_FromSsize_t(self->far.size);
+}
+
+static PyObject *
+Sim_get_compactions(SimObj *self, void *closure)
+{
+    return PyLong_FromUnsignedLongLong(self->compactions);
+}
+
+static PyMethodDef Sim_methods[] = {
+    {"schedule", (PyCFunction)Sim_schedule,
+     METH_FASTCALL | METH_KEYWORDS,
+     "schedule(delay, callback, *args, **kwargs) -> Event"},
+    {"schedule_at", (PyCFunction)Sim_schedule_at,
+     METH_FASTCALL | METH_KEYWORDS,
+     "schedule_at(time, callback, *args, **kwargs) -> Event"},
+    {"run", (PyCFunction)Sim_run, METH_FASTCALL | METH_KEYWORDS,
+     "run(until=None, max_events=None)"},
+    {"step", (PyCFunction)Sim_step, METH_NOARGS,
+     "Run exactly one pending event.  Returns False if the queue is empty."},
+    {"peek_time", (PyCFunction)Sim_peek_time, METH_NOARGS,
+     "Time of the next pending event, or None if the queue is empty."},
+    {"compact", (PyCFunction)Sim_compact, METH_NOARGS,
+     "Drop cancelled entries from the queue now (normally automatic)."},
+    {NULL}
+};
+
+static PyGetSetDef Sim_getset[] = {
+    {"now", (getter)Sim_get_now, NULL, "Current virtual time in seconds.", NULL},
+    {"events_processed", (getter)Sim_get_processed, NULL,
+     "Total number of callbacks executed so far.", NULL},
+    {"pending_count", (getter)Sim_get_pending_count, NULL,
+     "Number of not-yet-fired, not-cancelled events in the queue.", NULL},
+    {"queue_depth", (getter)Sim_get_queue_depth, NULL,
+     "Raw queue entries including cancelled ones (introspection).", NULL},
+    {"wheel_count", (getter)Sim_get_wheel_count, NULL,
+     "Entries currently in the slot ring (introspection).", NULL},
+    {"far_count", (getter)Sim_get_far_count, NULL,
+     "Entries currently in the far heap (introspection).", NULL},
+    {"compactions", (getter)Sim_get_compactions, NULL,
+     "How many times the queue has been compacted.", NULL},
+    {NULL}
+};
+
+static PyTypeObject SimType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim._ckernel.Simulator",
+    .tp_basicsize = sizeof(SimObj),
+    .tp_dealloc = (destructor)Sim_dealloc,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_traverse = (traverseproc)Sim_traverse,
+    .tp_clear = (inquiry)Sim_clear_gc,
+    .tp_methods = Sim_methods,
+    .tp_getset = Sim_getset,
+    .tp_new = Sim_new,
+    .tp_doc = "Deterministic discrete-event scheduler (accelerated kernel).",
+};
+
+/* ------------------------------------------------------------------ */
+/* Module                                                             */
+/* ------------------------------------------------------------------ */
+static PyObject *
+set_error_class(PyObject *module, PyObject *cls)
+{
+    Py_XDECREF(sim_error);
+    sim_error = Py_NewRef(cls);
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef module_methods[] = {
+    {"_set_error_class", set_error_class, METH_O,
+     "Install the SimulationError class raised for scheduler misuse."},
+    {NULL}
+};
+
+static PyModuleDef ckernel_module = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "repro.sim._ckernel",
+    .m_doc = "C-accelerated discrete-event kernel (see repro.sim.accel).",
+    .m_size = -1,
+    .m_methods = module_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__ckernel(void)
+{
+    if (PyType_Ready(&EventType) < 0 || PyType_Ready(&SimType) < 0)
+        return NULL;
+    PyObject *m = PyModule_Create(&ckernel_module);
+    if (!m)
+        return NULL;
+    if (PyModule_AddObjectRef(m, "Event", (PyObject *)&EventType) < 0 ||
+        PyModule_AddObjectRef(m, "Simulator", (PyObject *)&SimType) < 0 ||
+        PyModule_AddIntConstant(m, "NSLOTS", (long)NSLOTS) < 0 ||
+        PyModule_AddObject(m, "DEFAULT_WIDTH",
+                           PyFloat_FromDouble(DEFAULT_WIDTH)) < 0) {
+        Py_DECREF(m);
+        return NULL;
+    }
+    return m;
+}

@@ -1,0 +1,190 @@
+"""Build and select the C-accelerated event kernel.
+
+The hot path of every experiment is the event dispatch loop, and the
+pure-Python :class:`repro.sim.engine.Simulator` tops out well below what
+1000-node campaigns need.  This module compiles ``_ckernel.c`` on demand
+with the system C compiler, caches the shared object next to the source,
+and hands out whichever kernel is active.
+
+Selection is controlled by the ``REPRO_ACCEL`` environment variable:
+
+- ``auto`` (default): use the C kernel if it builds, else fall back to
+  the pure-Python engine silently.
+- ``off``: never build or use the C kernel.
+- ``require``: fail loudly if the C kernel cannot be built — used by CI
+  and the benchmark suite so a broken toolchain cannot masquerade as a
+  performance regression.
+
+:func:`reference_mode` switches the whole stack — kernel, radio index,
+batched delivery, pooling — to the straightforward reference
+implementations for the duration of a ``with`` block.  The byte-identity
+benchmark uses it to run every scenario twice in one process and compare
+MetricsReports structurally.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import importlib
+import os
+import subprocess
+import sys
+import sysconfig
+import tempfile
+import threading
+from typing import Iterator, Optional
+
+_SOURCE = os.path.join(os.path.dirname(__file__), "_ckernel.c")
+
+_lock = threading.Lock()
+_ckernel = None          # module object once loaded, False once failed
+_reference_depth = 0
+
+
+class AccelError(RuntimeError):
+    """Raised when REPRO_ACCEL=require and the C kernel is unavailable."""
+
+
+def accel_mode() -> str:
+    """The effective REPRO_ACCEL setting (auto / off / require)."""
+    mode = os.environ.get("REPRO_ACCEL", "auto").strip().lower()
+    if mode not in ("auto", "off", "require"):
+        raise AccelError(f"REPRO_ACCEL must be auto, off or require, got {mode!r}")
+    return mode
+
+
+def _ext_path() -> str:
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    return os.path.join(os.path.dirname(__file__), "_ckernel" + suffix)
+
+
+def _build(ext_path: str) -> None:
+    """Compile _ckernel.c into ext_path (atomic rename, safe under races)."""
+    include = sysconfig.get_paths()["include"]
+    cc = os.environ.get("CC", "cc")
+    fd, tmp = tempfile.mkstemp(
+        suffix=".so", prefix="_ckernel-", dir=os.path.dirname(ext_path)
+    )
+    os.close(fd)
+    try:
+        subprocess.run(
+            [cc, "-O2", "-shared", "-fPIC", f"-I{include}", _SOURCE, "-o", tmp],
+            check=True,
+            capture_output=True,
+            text=True,
+        )
+        os.replace(tmp, ext_path)
+    finally:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+
+
+def _load() -> Optional[object]:
+    """Return the _ckernel module, building it if needed; None on failure."""
+    global _ckernel
+    if _ckernel is not None:
+        return _ckernel or None
+    with _lock:
+        if _ckernel is not None:
+            return _ckernel or None
+        try:
+            ext_path = _ext_path()
+            stale = (
+                not os.path.exists(ext_path)
+                or os.path.getmtime(ext_path) < os.path.getmtime(_SOURCE)
+            )
+            if stale:
+                _build(ext_path)
+            module = importlib.import_module("repro.sim._ckernel")
+            from repro.sim.engine import SimulationError
+
+            module._set_error_class(SimulationError)
+            _ckernel = module
+        except Exception as exc:  # noqa: BLE001 - any failure means fallback
+            _ckernel = False
+            if accel_mode() == "require":
+                raise AccelError(
+                    f"REPRO_ACCEL=require but the C kernel failed to build/load: {exc}"
+                ) from exc
+            return None
+    return _ckernel or None
+
+
+def kernel_available() -> bool:
+    """Whether the C kernel can be (or has been) loaded under current mode."""
+    if accel_mode() == "off":
+        return False
+    return _load() is not None
+
+
+def enabled() -> bool:
+    """Whether accelerated code paths should be used right now.
+
+    False inside :func:`reference_mode`, when REPRO_ACCEL=off, or when the
+    C kernel is unavailable in auto mode.  The radio/channel layers use
+    this at construction time to pick indexed/batched vs reference paths.
+    """
+    if _reference_depth > 0:
+        return False
+    mode = accel_mode()
+    if mode == "off":
+        return False
+    if mode == "require":
+        _load()
+        return True
+    return _load() is not None
+
+
+def features_enabled() -> bool:
+    """Whether the pure-Python fast paths are active.
+
+    Gates the spatial grid index, batched reception delivery and object
+    pooling.  Unlike :func:`enabled` this does not require the C kernel
+    to build — the fast paths are pure Python and independently correct —
+    but it honours REPRO_ACCEL=off and :func:`reference_mode` so one
+    switch flips the whole stack to the reference implementations.
+    """
+    return _reference_depth == 0 and accel_mode() != "off"
+
+
+def reference_active() -> bool:
+    """Whether :func:`reference_mode` is currently in force."""
+    return _reference_depth > 0
+
+
+@contextlib.contextmanager
+def reference_mode() -> Iterator[None]:
+    """Force the reference implementations for the duration of the block.
+
+    Scenarios built inside the block get the pure-Python kernel, the
+    brute-force radio queries, per-receiver delivery and no pooling —
+    the exact pre-rearchitecture stack, for in-process A/B identity runs.
+    """
+    global _reference_depth
+    _reference_depth += 1
+    try:
+        yield
+    finally:
+        _reference_depth -= 1
+
+
+def make_simulator(start_time: float = 0.0):
+    """Instantiate the fastest kernel allowed by mode and reference state."""
+    from repro.sim.engine import Simulator
+
+    if _reference_depth > 0 or accel_mode() == "off":
+        return Simulator(start_time)
+    module = _load()
+    if module is None:
+        return Simulator(start_time)
+    return module.Simulator(start_time)
+
+
+def self_check() -> str:
+    """One-line status string for diagnostics (used by ``repro bench``)."""
+    mode = accel_mode()
+    if mode == "off":
+        return "accel: off (REPRO_ACCEL=off)"
+    if kernel_available():
+        return f"accel: C kernel active (mode={mode}, {sys.implementation.name})"
+    return f"accel: unavailable, pure-Python fallback (mode={mode})"

@@ -108,12 +108,19 @@ class Simulator:
     2.0
     """
 
+    #: Queue size below which compaction is never attempted.
+    COMPACT_MIN_SIZE = 8192
+    #: Dead-entry fraction that triggers a rebuild once the size check fires.
+    COMPACT_DEAD_FRACTION = 0.25
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._heap: List[Tuple[float, int, Event]] = []
         self._sequence = itertools.count()
         self._running = False
         self._events_processed = 0
+        self._last_live = 0
+        self._compactions = 0
 
     # ------------------------------------------------------------------
     # Clock
@@ -161,7 +168,30 @@ class Simulator:
             )
         event = Event(time, callback, args or _NO_ARGS, kwargs or _NO_KWARGS)
         heapq.heappush(self._heap, (time, next(self._sequence), event))
+        if len(self._heap) >= self.COMPACT_MIN_SIZE and len(self._heap) > 2 * self._last_live:
+            self._maybe_compact()
         return event
+
+    def _maybe_compact(self) -> None:
+        # Lazy-cancellation cleanup: cancelled events stay in the heap until
+        # popped, so cancel-heavy campaigns (watch buffers, MAC backoff) can
+        # carry a large dead tail.  When the heap has doubled since the last
+        # check, count the dead fraction and rebuild without the corpses if
+        # it exceeds the threshold.  Amortized O(1) per schedule; ordering is
+        # untouched because live (time, seq, event) triples are preserved.
+        live = sum(1 for _, _, ev in self._heap if ev.pending)
+        dead = len(self._heap) - live
+        if dead >= len(self._heap) * self.COMPACT_DEAD_FRACTION:
+            self._heap = [entry for entry in self._heap if entry[2].pending]
+            heapq.heapify(self._heap)
+            self._compactions += 1
+            live = len(self._heap)
+        self._last_live = live
+
+    @property
+    def compactions(self) -> int:
+        """How many times the queue has been compacted (introspection)."""
+        return self._compactions
 
     # ------------------------------------------------------------------
     # Execution
@@ -233,3 +263,19 @@ class Simulator:
         if self._heap:
             return self._heap[0][0]
         return None
+
+
+def make_simulator(start_time: float = 0.0) -> "Simulator":
+    """Build the fastest available kernel with :class:`Simulator` semantics.
+
+    Returns an instance of the C-accelerated kernel when it can be built
+    (see :mod:`repro.sim.accel`), otherwise this module's pure-Python
+    :class:`Simulator`.  The two are interchangeable: same API, same event
+    ordering, same ``SimulationError`` on misuse.  All production entry
+    points (scenario runner, benchmarks) construct their simulator through
+    this factory; tests that exercise kernel internals pin the class they
+    need explicitly.
+    """
+    from repro.sim import accel
+
+    return accel.make_simulator(start_time)

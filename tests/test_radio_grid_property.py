@@ -1,0 +1,111 @@
+"""Property tests: the grid-indexed radio equals the brute-force radio.
+
+Hypothesis drives random topologies, per-node range overrides and
+interleaved mobility moves through two UnitDiskRadio instances — one with
+the spatial grid, one with the brute-force scans — and requires every
+query to return *identical* results (same elements, same order, same
+distances), which is the byte-identity contract the engine rearchitecture
+rests on.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.grid import SpatialGrid
+from repro.net.radio import UnitDiskRadio
+
+_coord = st.floats(
+    min_value=-150.0, max_value=150.0, allow_nan=False, allow_infinity=False
+)
+_positions = st.lists(st.tuples(_coord, _coord), min_size=1, max_size=40).map(
+    lambda pts: {i: p for i, p in enumerate(pts)}
+)
+_range_mult = st.sampled_from([0.25, 0.5, 1.0, 2.0, 3.0, 7.5])
+
+
+def _pair(positions):
+    indexed = UnitDiskRadio(positions, default_range=30.0, use_grid=True)
+    brute = UnitDiskRadio(positions, default_range=30.0, use_grid=False)
+    assert indexed.uses_grid_index and not brute.uses_grid_index
+    return indexed, brute
+
+
+def _assert_all_queries_equal(indexed, brute):
+    nodes = indexed.node_ids
+    for node in nodes:
+        assert indexed.coverage(node) == brute.coverage(node)
+        assert indexed.coverage_with_distance(node) == brute.coverage_with_distance(node)
+        assert indexed.neighbors(node) == brute.neighbors(node)
+    for a in nodes[:8]:
+        for b in nodes[:8]:
+            if a != b:
+                assert indexed.common_neighbors(a, b) == brute._brute_common_neighbors(a, b)
+    for receiver in nodes[:8]:
+        assert indexed.audible_from(receiver, nodes) == brute._brute_audible_from(
+            receiver, nodes
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(positions=_positions)
+def test_static_queries_match_brute_force(positions):
+    indexed, brute = _pair(positions)
+    _assert_all_queries_equal(indexed, brute)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    positions=_positions,
+    overrides=st.lists(st.tuples(st.integers(0, 39), _range_mult), max_size=6),
+)
+def test_range_overrides_match_brute_force(positions, overrides):
+    indexed, brute = _pair(positions)
+    for node, mult in overrides:
+        if node in positions:
+            indexed.set_tx_range(node, 30.0 * mult)
+            brute.set_tx_range(node, 30.0 * mult)
+    _assert_all_queries_equal(indexed, brute)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    positions=_positions,
+    moves=st.lists(
+        st.tuples(st.integers(0, 39), st.tuples(_coord, _coord)), max_size=10
+    ),
+    overrides=st.lists(st.tuples(st.integers(0, 39), _range_mult), max_size=4),
+)
+def test_interleaved_mobility_matches_brute_force(positions, moves, overrides):
+    indexed, brute = _pair(positions)
+    ops = [("move", m) for m in moves] + [("range", o) for o in overrides]
+    for i, (kind, payload) in enumerate(ops):
+        node, value = payload
+        if node not in positions:
+            continue
+        if kind == "move":
+            indexed.set_position(node, value)
+            brute.set_position(node, value)
+        else:
+            indexed.set_tx_range(node, 30.0 * value)
+            brute.set_tx_range(node, 30.0 * value)
+        # Query mid-stream every few ops so stale cells would be caught.
+        if i % 3 == 0:
+            assert indexed.coverage_with_distance(node) == brute.coverage_with_distance(node)
+    _assert_all_queries_equal(indexed, brute)
+
+
+def test_grid_cell_migration_is_incremental():
+    positions = {i: (float(i * 10), 0.0) for i in range(20)}
+    grid = SpatialGrid(positions, cell_size=30.0)
+    assert sum(len(b) for b in grid._cells.values()) == 20
+    # Move within the same cell: bucket membership untouched.
+    cell_before = grid._cell_of[0]
+    grid.move(0, (1.0, 1.0))
+    assert grid._cell_of[0] == cell_before
+    # Move across cells: old bucket shrinks or disappears, new one gains.
+    grid.move(0, (1000.0, 1000.0))
+    assert grid._cell_of[0] == (math.floor(1000.0 / 30.0), math.floor(1000.0 / 30.0))
+    assert 0 in grid._cells[grid._cell_of[0]]
+    assert sum(len(b) for b in grid._cells.values()) == 20
