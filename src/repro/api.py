@@ -11,18 +11,25 @@ move when the internals are refactored: deep imports of
     replications = api.sweep(api.ScenarioConfig(n_nodes=30), runs=10, jobs=-1)
     result = api.campaign("study.toml", backend="process", jobs=-1,
                           journal="study.journal.jsonl", resume=True)
+    grid = api.matrix(api.MatrixSpec(runs=3), journal_dir="matrix-journals")
     run_report = api.report("trace.jsonl")
 
-Four verbs, one noun family:
+Five verbs, one noun family:
 
 - :func:`run` — one scenario, one :class:`MetricsReport`.
 - :func:`sweep` — N replications of one config (parallel + cached).
 - :func:`campaign` — a declarative grid of configs with journaled resume
   (see :mod:`repro.experiments.campaign`).
+- :func:`matrix` — every registered defense × every requested attack
+  mode, one journaled campaign per attack, folded into a single
+  :class:`MatrixReport` (see :mod:`repro.experiments.matrix`).
 - :func:`report` — a markdown/JSON run report from a trace export.
 
 plus the config/result types those verbs exchange, re-exported under
-their canonical names.
+their canonical names — including the defense-plugin surface
+(:class:`Defense`, :class:`DefenseSpec`, :func:`available_defenses`,
+:func:`register_defense`) so third-party schemes never need deep
+imports.
 """
 
 from __future__ import annotations
@@ -31,6 +38,14 @@ import dataclasses
 from pathlib import Path
 from typing import Any, List, Mapping, Optional, Sequence, Union
 
+from repro.defenses import (
+    Defense,
+    DefenseContext,
+    DefenseSpec,
+    available_defenses,
+    get_defense,
+    register_defense,
+)
 from repro.experiments.cache import ResultCache
 from repro.experiments.campaign import (
     CampaignResult,
@@ -40,6 +55,11 @@ from repro.experiments.campaign import (
     SupervisionPolicy,
     load_spec,
     run_campaign,
+)
+from repro.experiments.matrix import (
+    MatrixResult,
+    MatrixSpec,
+    run_matrix,
 )
 from repro.experiments.runner import SweepRunner, replication_configs
 from repro.experiments.scenario import (
@@ -52,7 +72,7 @@ from repro.experiments.scenario import (
 )
 from repro.metrics.collector import MetricsReport
 from repro.obs.config import ObsConfig
-from repro.obs.report import RunReport, build_report
+from repro.obs.report import MatrixReport, RunReport, build_report
 from repro.sim.trace import TraceRecord
 
 
@@ -135,6 +155,54 @@ def campaign(
     )
 
 
+def matrix(
+    spec: Optional[MatrixSpec] = None,
+    *,
+    journal_dir: Union[str, Path] = "matrix-journals",
+    backend: Union[str, ExecutionBackend] = "inline",
+    jobs: Optional[int] = None,
+    cache: Optional[Union[ResultCache, str, Path]] = None,
+    resume: bool = False,
+    retry: RetryPolicy = RetryPolicy(),
+    supervision: SupervisionPolicy = SupervisionPolicy(),
+    max_jobs: Optional[int] = None,
+    stop: Optional[Any] = None,
+    fsync: bool = True,
+    **overrides: Any,
+) -> MatrixResult:
+    """Run (or resume) a defense × attack matrix; see
+    :mod:`repro.experiments.matrix` for the full semantics.
+
+    ``spec`` defaults to every registered defense over the default attack
+    columns; keyword overrides construct or adjust it::
+
+        api.matrix(runs=3, attacks=("outofband", "relay"))
+        api.matrix(spec, journal_dir="out", resume=True)
+
+    When the result is complete, ``result.report`` is the rendered
+    :class:`MatrixReport` (markdown + JSON).
+    """
+    if spec is None:
+        spec = MatrixSpec(**overrides)
+    elif overrides:
+        spec = dataclasses.replace(spec, **overrides)
+    if isinstance(cache, (str, Path)):
+        cache = ResultCache(cache)
+    return run_matrix(
+        spec,
+        journal_dir=journal_dir,
+        backend=backend,
+        jobs=jobs,
+        cache=cache,
+        resume=resume,
+        retry=retry,
+        supervision=supervision,
+        max_jobs=max_jobs,
+        stop=stop,
+        fsync=fsync,
+    )
+
+
 def report(
     source: Union[str, Path, Sequence[TraceRecord]],
     *,
@@ -159,6 +227,7 @@ __all__ = [
     "run",
     "sweep",
     "campaign",
+    "matrix",
     "report",
     # Scenario construction.
     "ATTACK_MODES",
@@ -167,14 +236,25 @@ __all__ = [
     "ScenarioConfig",
     "ObsConfig",
     "build_scenario",
+    # Defense plugin surface.
+    "Defense",
+    "DefenseContext",
+    "DefenseSpec",
+    "available_defenses",
+    "get_defense",
+    "register_defense",
     # Campaign types.
     "CampaignResult",
     "CampaignSpec",
     "RetryPolicy",
     "SupervisionPolicy",
     "load_spec",
+    # Matrix types.
+    "MatrixResult",
+    "MatrixSpec",
     # Results.
     "MetricsReport",
     "ResultCache",
     "RunReport",
+    "MatrixReport",
 ]

@@ -15,6 +15,11 @@ Commands
   journal and exit 75), ``plan`` prints the compiled job list, ``status``
   summarises a journal, and ``doctor`` audits/repairs a damaged journal
   or result cache.
+- ``matrix`` — every registered defense × every requested attack mode
+  through the campaign orchestrator (one journaled, resumable campaign
+  per attack; the malicious-node count co-varies with the mode),
+  rendered as one markdown + JSON detection-rate / isolation-latency /
+  overhead matrix report.
 - ``fig6`` — the analytical coverage curves.
 - ``cost`` — the section-5.2 cost table.
 - ``taxonomy`` — Table 1.
@@ -218,6 +223,60 @@ def build_parser() -> argparse.ArgumentParser:
                                 "belonging to any other spec")
     cdoctor_p.add_argument("--cache-dir", default=None, metavar="DIR",
                            help="also audit/repair this result cache directory")
+
+    matrix_p = sub.add_parser(
+        "matrix",
+        help="defense × attack matrix campaign (journaled, resumable)",
+    )
+    matrix_p.add_argument("--name", default="matrix",
+                          help="matrix name; journals are <name>-<attack>."
+                               "journal.jsonl (default matrix)")
+    matrix_p.add_argument("--defense", dest="defenses", action="append",
+                          default=None, metavar="NAME",
+                          help="defense row to include (repeatable; default: "
+                               "every registered defense)")
+    matrix_p.add_argument("--attack", dest="attacks", action="append",
+                          choices=ATTACK_MODES, default=None,
+                          help="attack column to include (repeatable; default: "
+                               "outofband, highpower, relay)")
+    matrix_p.add_argument("--nodes", type=int, default=30)
+    matrix_p.add_argument("--duration", type=float, default=120.0)
+    matrix_p.add_argument("--seed", type=int, default=1)
+    matrix_p.add_argument("--attack-start", type=float, default=30.0)
+    matrix_p.add_argument("--runs", type=int, default=2, metavar="N",
+                          help="replications per cell (default 2)")
+    matrix_p.add_argument("--backend", choices=("inline", "process", "thread"),
+                          default="inline",
+                          help="execution backend (default inline)")
+    matrix_p.add_argument("--jobs", type=int, default=0, metavar="N",
+                          help="workers for process/thread backends "
+                               "(0/1 serial, -1 one per CPU)")
+    matrix_p.add_argument("--journal-dir", default=".repro-matrix",
+                          help="per-attack journal directory "
+                               "(default .repro-matrix)")
+    matrix_p.add_argument("--resume", action="store_true",
+                          help="skip every job the journals already record")
+    matrix_p.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                          help="execute at most N new jobs across the whole "
+                               "matrix, then stop (exit 75; --resume later)")
+    matrix_p.add_argument("--retries", type=int, default=2, metavar="N",
+                          help="per-job retries on worker crash (default 2)")
+    matrix_p.add_argument("--timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="per-job wall-clock timeout (default: none)")
+    matrix_p.add_argument("--no-fsync", dest="fsync", action="store_false",
+                          help="skip fsync on journal/cache writes")
+    matrix_p.add_argument("--no-cache", dest="use_cache", action="store_false",
+                          help="do not read or write the on-disk result cache")
+    matrix_p.add_argument("--cache-dir", default=".repro-cache",
+                          help="result cache directory (default .repro-cache)")
+    matrix_p.add_argument("--out", default=None, metavar="FILE",
+                          help="write the matrix JSON payload to this path")
+    matrix_p.add_argument("--md", dest="md_path", default=None, metavar="FILE",
+                          help="write the markdown matrix to this path "
+                               "(default: print to stdout)")
+    matrix_p.add_argument("--quiet", action="store_true",
+                          help="suppress per-job progress lines on stderr")
 
     bench_p = sub.add_parser("bench", help="microbenchmark suite; writes BENCH_*.json")
     bench_mode = bench_p.add_mutually_exclusive_group()
@@ -576,6 +635,123 @@ def _campaign_run(args: argparse.Namespace) -> int:
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(result.to_json())
         print(f"aggregate JSON written to {path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    import pathlib
+    import signal
+
+    from repro.experiments.campaign import (
+        CampaignError,
+        RetryPolicy,
+        SupervisionPolicy,
+        make_backend,
+    )
+    from repro.experiments.matrix import (
+        DEFAULT_MATRIX_ATTACKS,
+        MatrixSpec,
+        run_matrix,
+    )
+    from repro.obs.progress import CampaignProgress
+
+    try:
+        spec = MatrixSpec(
+            name=args.name,
+            base=ScenarioConfig(
+                n_nodes=args.nodes,
+                duration=args.duration,
+                seed=args.seed,
+                attack_start=args.attack_start,
+            ),
+            defenses=tuple(args.defenses) if args.defenses else (),
+            attacks=tuple(args.attacks) if args.attacks else DEFAULT_MATRIX_ATTACKS,
+            runs=args.runs,
+        )
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    cache = None
+    if args.use_cache:
+        from repro.experiments.cache import ResultCache
+
+        cache = ResultCache(args.cache_dir, fsync=args.fsync)
+
+    progress = None
+    if not args.quiet:
+        progress = CampaignProgress(
+            printer=lambda line: print(line, file=sys.stderr)
+        )
+
+    # Same graceful-shutdown contract as ``campaign run``: first signal
+    # stops between jobs (journals flushed, exit 75), second aborts hard.
+    signalled = {"stop": False}
+
+    def _handle_signal(signum: int, frame: object) -> None:
+        if signalled["stop"]:
+            raise KeyboardInterrupt
+        signalled["stop"] = True
+        name = signal.Signals(signum).name
+        print(f"\n{name} received — finishing in-flight jobs and flushing "
+              f"the journals (again to abort hard)", file=sys.stderr)
+
+    previous_handlers = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous_handlers[signum] = signal.signal(signum, _handle_signal)
+        except (ValueError, OSError):
+            pass  # non-main thread or unsupported platform
+
+    try:
+        result = run_matrix(
+            spec,
+            journal_dir=args.journal_dir,
+            backend=make_backend(args.backend, jobs=args.jobs or None),
+            cache=cache,
+            resume=args.resume,
+            retry=RetryPolicy(retries=args.retries),
+            supervision=SupervisionPolicy(timeout=args.timeout),
+            progress=progress,
+            max_jobs=args.max_jobs,
+            stop=lambda: signalled["stop"],
+            fsync=args.fsync,
+        )
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        for signum, handler in previous_handlers.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):
+                pass
+
+    print(result.format(), file=sys.stderr)
+    if not result.complete:
+        if result.interrupted == "signal":
+            reason = "matrix interrupted by signal"
+        elif args.max_jobs is not None:
+            reason = f"matrix stopped after --max-jobs {args.max_jobs}"
+        else:
+            reason = "matrix stopped before completing"
+        print(f"{reason}; {result.completed_jobs}/{spec.total_jobs()} jobs "
+              f"journaled — rerun with --resume to finish", file=sys.stderr)
+        return 75  # EX_TEMPFAIL: partial progress, safe to resume
+    report = result.report
+    markdown = report.to_markdown()
+    if args.md_path:
+        path = pathlib.Path(args.md_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(markdown)
+        print(f"markdown matrix written to {path}", file=sys.stderr)
+    else:
+        print(markdown, end="")
+    if args.out:
+        path = pathlib.Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(report.to_json())
+        print(f"matrix JSON written to {path}", file=sys.stderr)
     return 0
 
 
@@ -951,6 +1127,7 @@ _COMMANDS = {
     "fig9": _cmd_fig9,
     "fig10": _cmd_fig10,
     "campaign": _cmd_campaign,
+    "matrix": _cmd_matrix,
     "chaos": _cmd_chaos,
     "trace": _cmd_trace,
     "report": _cmd_report,

@@ -1,0 +1,49 @@
+"""Defense plugin registry and the built-in schemes.
+
+``ScenarioConfig(defense=...)`` resolves through this package: the four
+schemes the reproduction grew up with (``liteworp``, ``geo_leash``,
+``temporal_leash``, ``none``) plus the two literature baselines added
+with the registry (``rtt``, ``snd``) register here at import time.
+Third-party schemes subclass :class:`Defense` and call
+:func:`register_defense`; see docs/DEFENSES.md for the full protocol.
+"""
+
+from __future__ import annotations
+
+from repro.defenses.base import Defense, DefenseContext, DefenseSpec
+from repro.defenses.leash import GeoLeashDefense, TemporalLeashDefense
+from repro.defenses.liteworp import LiteworpDefense
+from repro.defenses.null import NoDefense
+from repro.defenses.registry import (
+    available_defenses,
+    get_defense,
+    register_defense,
+    unregister_defense,
+)
+from repro.defenses.rtt import RttConfig, RttDefense
+from repro.defenses.snd import SndConfig, SndDefense
+
+register_defense(LiteworpDefense())
+register_defense(GeoLeashDefense())
+register_defense(TemporalLeashDefense())
+register_defense(NoDefense())
+register_defense(RttDefense())
+register_defense(SndDefense())
+
+__all__ = [
+    "Defense",
+    "DefenseContext",
+    "DefenseSpec",
+    "GeoLeashDefense",
+    "LiteworpDefense",
+    "NoDefense",
+    "RttConfig",
+    "RttDefense",
+    "SndConfig",
+    "SndDefense",
+    "TemporalLeashDefense",
+    "available_defenses",
+    "get_defense",
+    "register_defense",
+    "unregister_defense",
+]

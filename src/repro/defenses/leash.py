@@ -1,0 +1,89 @@
+"""Packet leashes (Hu, Perrig, Johnson) as defense plugins.
+
+Two registrations share one implementation: ``geo_leash`` binds the
+geographic leash, ``temporal_leash`` the temporal one.  Honest nodes
+stamp at the radio and verify incoming frames; insider attackers stamp
+truthfully but never verify — leashing their own transmissions is
+exactly how they evade the scheme (see :mod:`repro.baselines.leashes`).
+
+The effective :class:`~repro.baselines.leashes.LeashConfig` is derived
+once per run in :meth:`prepare`: the plugin pins ``kind`` to its own
+flavour and inherits ``comm_range`` / ``bandwidth_bps`` from the
+scenario, exactly like the pre-registry ladder did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Any, Dict
+
+from repro.baselines.leashes import LeashAgent, LeashConfig
+from repro.defenses.base import Defense, DefenseContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics.collector import MetricsReport
+    from repro.net.node import Node
+    from repro.sim.engine import Simulator
+
+
+class LeashDefense(Defense):
+    """Shared wiring for both leash flavours."""
+
+    config_cls = LeashConfig
+    #: ``LeashConfig.kind`` this registration enforces.
+    kind = "geographic"
+
+    def default_config(self) -> None:
+        # The block lives on ScenarioConfig.leash (and always has); a
+        # spec-level block overrides it when present.
+        return None
+
+    def prepare(self, ctx: DefenseContext) -> None:
+        base = ctx.plugin_config if ctx.plugin_config is not None else ctx.config.leash
+        ctx.state["leash_config"] = replace(
+            base,
+            kind=self.kind,
+            comm_range=ctx.config.tx_range,
+            bandwidth_bps=ctx.config.network.bandwidth_bps,
+        )
+
+    def attach_honest(self, node: "Node", sim: "Simulator", ctx: DefenseContext) -> None:
+        agent = LeashAgent(
+            sim, node, ctx.network.radio, ctx.state["leash_config"], ctx.trace
+        )
+        ctx.leash_agents[node.node_id] = agent
+        ctx.network.channel.set_frame_stamper(node.node_id, agent.stamp)
+
+    def attach_insider(self, node: "Node", sim: "Simulator", ctx: DefenseContext) -> None:
+        # Insider attackers run the leash protocol too: leashing their
+        # own transmissions truthfully is exactly how they evade the
+        # scheme.  Attackers stamp but never reject (a filter would only
+        # protect them, and their behaviour stays unconstrained).
+        insider = LeashAgent(
+            sim, node, ctx.network.radio, ctx.state["leash_config"], ctx.trace,
+            verify_incoming=False,
+        )
+        ctx.network.channel.set_frame_stamper(node.node_id, insider.stamp)
+
+    def metrics_contribution(self, report: "MetricsReport", config: Any) -> Dict[str, float]:
+        block = config if isinstance(config, LeashConfig) else LeashConfig()
+        bytes_per_frame = (
+            replace(block, kind=self.kind).leash_bytes
+        )
+        return {"leash_bytes_per_frame": float(bytes_per_frame)}
+
+
+class GeoLeashDefense(LeashDefense):
+    """Authenticated (position, send time) stamp; distance-bound check."""
+
+    name = "geo_leash"
+    kind = "geographic"
+    description = "geographic packet leash (authenticated position + time stamp)"
+
+
+class TemporalLeashDefense(LeashDefense):
+    """Authenticated send-time stamp; packet-age bound check."""
+
+    name = "temporal_leash"
+    kind = "temporal"
+    description = "temporal packet leash (authenticated send-time stamp)"

@@ -1,0 +1,26 @@
+"""The no-defense baseline: every hook is a no-op.
+
+Keeping "none" as a real registered plugin (rather than a special case
+in scenario assembly) is the point of the registry — the undefended
+network is one more row of the defense × attack matrix, not an if-branch.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.defenses.base import Defense
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics.collector import MetricsReport
+
+
+class NoDefense(Defense):
+    """Undefended network (the paper's "without LITEWORP" arm)."""
+
+    name = "none"
+    config_cls = None
+    description = "no protection; the undefended baseline"
+
+    def detected(self, report: "MetricsReport") -> bool:
+        return False

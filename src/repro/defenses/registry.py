@@ -1,0 +1,59 @@
+"""The defense registry: name -> :class:`~repro.defenses.base.Defense`.
+
+Plugins register at import time (the built-ins do so from
+``repro.defenses.__init__``); third-party code calls
+:func:`register_defense` before building scenarios.  Lookup failures
+list what *is* registered, so a typo'd ``defense=`` fails with the valid
+vocabulary in the message.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.defenses.base import Defense
+
+_REGISTRY: Dict[str, Defense] = {}
+
+
+def register_defense(defense: Defense, replace: bool = False) -> Defense:
+    """Add ``defense`` to the registry under its ``name``.
+
+    Registering a name that is already taken raises unless ``replace``
+    is set (tests and third-party overrides use it deliberately).
+    """
+    name = defense.name
+    if not name or not isinstance(name, str):
+        raise ValueError(f"defense must declare a non-empty string name, got {name!r}")
+    if name == "auto":
+        raise ValueError("'auto' is reserved for ScenarioConfig defense resolution")
+    if name in _REGISTRY and not replace:
+        raise ValueError(
+            f"defense {name!r} is already registered "
+            f"({_REGISTRY[name]!r}); pass replace=True to override"
+        )
+    _REGISTRY[name] = defense
+    return defense
+
+
+def unregister_defense(name: str) -> None:
+    """Remove a registered defense (primarily for tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_defense(name: str) -> Defense:
+    """The registered defense called ``name``.
+
+    Raises ``ValueError`` naming the available defenses on a miss.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown defense {name!r}; available: {available_defenses()}"
+        ) from None
+
+
+def available_defenses() -> Tuple[str, ...]:
+    """Every registered defense name, sorted."""
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,329 @@
+"""RTT-based statistical wormhole detector (Buch & Jinwala style).
+
+Each honest node periodically probes every transmitter it has overheard
+and measures the request/echo round-trip time.  A packet-relay wormhole
+cannot shorten the physics: every relayed leg adds a full frame air time,
+so the RTT of a *fake* link sits well above the population of genuine
+one-hop links.  Two signals flag a peer:
+
+- ``rtt`` — the peer's median RTT exceeds ``alpha`` × the median of all
+  per-peer medians (and an absolute floor, so a uniformly fast
+  neighborhood is never flagged);
+- ``timeouts`` — ``max_misses`` consecutive probes went unanswered,
+  which catches the high-power attacker: its long-range transmissions
+  make it look like a neighbor, but it is too far away to hear a
+  normal-power probe.
+
+A flagged peer is blocked at the receive filter and accused via a
+``guard_detection`` trace record.  Note the attribution caveat: a
+transparent packet-relay attacker spoofs the victims' link-layer
+headers, so the *flagged* peer of a relayed link is the honest far-end
+victim — the detector fires (the fake link dies), but the accusation
+lands on the spoofed identity, which the metrics report as a false
+isolation.  Tunnel modes (out-of-band, encapsulation) re-originate
+frames from real colluders with genuine radios and fast echoes; RTT
+cannot see those, by design (docs/DEFENSES.md discusses the scope).
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Deque, Dict, Set
+
+from repro.defenses.base import Defense, DefenseContext
+from repro.net.packet import Frame, NodeId, RttEchoPacket, RttProbePacket
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics.collector import MetricsReport
+    from repro.net.node import Node
+    from repro.sim.engine import Simulator
+    from repro.sim.trace import TraceLog
+
+
+@dataclass(frozen=True)
+class RttConfig:
+    """Tunables for the RTT detector.
+
+    Attributes
+    ----------
+    start_time:
+        When probing begins (after neighbor discovery settles).
+    probe_interval:
+        Seconds between probe rounds at each node.
+    round_jitter:
+        Fresh uniform slack added to every inter-round gap, so two
+        neighbors whose rounds once collided do not collide every round
+        (phase-locked collisions masquerade as dead links).
+    probe_spacing:
+        Gap between successive probes within one round, so a node's own
+        MAC queue never inflates the measurement of later targets.
+    timeout:
+        Seconds after which an unanswered probe counts as a miss.
+    sample_window:
+        Per-peer ring of retained RTT samples (median over these).
+    min_samples:
+        Samples required before a peer's median participates.
+    min_population:
+        Distinct measurable peers required before the statistical test
+        runs at all (a lone link has no population to stand out from).
+    alpha:
+        Relative threshold: flag when median > alpha × population median.
+    min_rtt_floor:
+        Absolute threshold floor in seconds; both must be exceeded.
+    max_misses:
+        Consecutive unanswered probes that flag a peer outright.
+    """
+
+    start_time: float = 5.0
+    probe_interval: float = 6.0
+    round_jitter: float = 1.0
+    probe_spacing: float = 0.2
+    timeout: float = 0.5
+    sample_window: int = 8
+    min_samples: int = 6
+    min_population: int = 3
+    alpha: float = 1.8
+    min_rtt_floor: float = 0.02
+    max_misses: int = 5
+
+    def __post_init__(self) -> None:
+        for name in ("start_time", "probe_spacing", "round_jitter"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative, got {getattr(self, name)!r}")
+        for name in ("probe_interval", "timeout", "alpha", "min_rtt_floor"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive, got {getattr(self, name)!r}")
+        for name in ("sample_window", "min_samples", "min_population", "max_misses"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be at least 1, got {getattr(self, name)!r}")
+        if self.min_samples > self.sample_window:
+            raise ValueError("min_samples cannot exceed sample_window")
+
+
+class RttResponder:
+    """Echo half of the protocol: reply to probes addressed to us.
+
+    Runs on every node — including insiders, whose radios genuinely work;
+    a tunnel endpoint answering probes promptly is exactly why RTT cannot
+    expose tunnels.
+    """
+
+    def __init__(self, node: "Node") -> None:
+        self._node = node
+        node.add_listener(self._on_frame)
+
+    def _on_frame(self, frame: Frame) -> None:
+        packet = frame.packet
+        if not isinstance(packet, RttProbePacket):
+            return
+        if packet.target != self._node.node_id:
+            return
+        if packet.sender == self._node.node_id:
+            return  # a relayed copy of our own frame
+        # Broadcast: no link-layer ARQ, so the echo airs exactly once and
+        # the measured round trip is pure medium + turnaround time.
+        self._node.broadcast(
+            RttEchoPacket(
+                sender=self._node.node_id, target=packet.sender, nonce=packet.nonce
+            ),
+            jitter=0.0,
+        )
+
+
+class RttAgent(RttResponder):
+    """Prober + statistical detector running on one honest node."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node: "Node",
+        config: RttConfig,
+        trace: "TraceLog",
+        rng: random.Random,
+    ) -> None:
+        super().__init__(node)
+        self._sim = sim
+        self._config = config
+        self._trace = trace
+        self._rng = rng
+        self._peers: Set[NodeId] = set()
+        self._samples: Dict[NodeId, Deque[float]] = {}
+        self._misses: Dict[NodeId, int] = {}
+        self._pending: Dict[int, tuple] = {}
+        self._air_times: Dict[int, float] = {}
+        self._nonce = 0
+        self.blocked: Set[NodeId] = set()
+        self.counters: Dict[str, int] = {
+            "rtt_probes_sent": 0,
+            "rtt_samples": 0,
+            "rtt_links_flagged": 0,
+            "rtt_frames_blocked": 0,
+        }
+        node.add_observer(self._observe)
+        node.add_filter(self._filter)
+        node.add_listener(self._on_echo)
+        sim.schedule(
+            config.start_time + rng.uniform(0.0, config.probe_interval), self._round
+        )
+
+    # -- peer discovery (promiscuous) ----------------------------------
+    def _observe(self, frame: Frame) -> None:
+        transmitter = frame.transmitter
+        if transmitter != self._node.node_id:
+            self._peers.add(transmitter)
+
+    # -- probing -------------------------------------------------------
+    def _round(self) -> None:
+        if self._node.alive:
+            targets = sorted(self._peers - self.blocked)
+            for index, peer in enumerate(targets):
+                self._sim.schedule(index * self._config.probe_spacing, self._probe, peer)
+        self._sim.schedule(
+            self._config.probe_interval
+            + self._rng.uniform(0.0, self._config.round_jitter),
+            self._round,
+        )
+
+    def _probe(self, peer: NodeId) -> None:
+        if not self._node.alive or peer in self.blocked:
+            return
+        self._nonce += 1
+        nonce = self._nonce
+        packet = RttProbePacket(sender=self._node.node_id, target=peer, nonce=nonce)
+        # Broadcast: unicast ARQ would re-air the probe on a lost first
+        # attempt and poison the sample with retry backoffs.
+        if not self._node.broadcast(packet, jitter=0.0):
+            return
+        self.counters["rtt_probes_sent"] += 1
+        self._pending[nonce] = (peer, self._sim.now)
+        self._sim.schedule(self._config.timeout, self._expire, nonce)
+
+    def note_air(self, nonce: int, time: float) -> None:
+        """Record when our own probe actually hit the air (wired through
+        the plugin's channel tx-observer), so our MAC queueing never
+        counts against the peer being measured."""
+        self._air_times.setdefault(nonce, time)
+
+    def _expire(self, nonce: int) -> None:
+        entry = self._pending.pop(nonce, None)
+        self._air_times.pop(nonce, None)
+        if entry is None:
+            return
+        peer, _ = entry
+        misses = self._misses.get(peer, 0) + 1
+        self._misses[peer] = misses
+        if misses >= self._config.max_misses and peer not in self.blocked:
+            self._flag(peer, "timeouts", misses=misses)
+
+    # -- echo handling + statistics ------------------------------------
+    def _on_echo(self, frame: Frame) -> None:
+        packet = frame.packet
+        if not isinstance(packet, RttEchoPacket) or packet.target != self._node.node_id:
+            return
+        entry = self._pending.get(packet.nonce)
+        if entry is None:
+            return
+        peer, sent_at = entry
+        if packet.sender != peer:
+            return
+        self._pending.pop(packet.nonce, None)
+        started = self._air_times.pop(packet.nonce, sent_at)
+        window = self._samples.setdefault(
+            peer, deque(maxlen=self._config.sample_window)
+        )
+        window.append(self._sim.now - started)
+        self._misses[peer] = 0
+        self.counters["rtt_samples"] += 1
+        self._evaluate()
+
+    def _evaluate(self) -> None:
+        config = self._config
+        medians = {
+            peer: statistics.median(window)
+            for peer, window in self._samples.items()
+            if len(window) >= config.min_samples and peer not in self.blocked
+        }
+        if len(medians) < config.min_population:
+            return
+        population = statistics.median(medians.values())
+        threshold = max(config.alpha * population, config.min_rtt_floor)
+        for peer, median in sorted(medians.items()):
+            if median > threshold:
+                self._flag(peer, "rtt", rtt=median, baseline=population)
+
+    def _flag(self, peer: NodeId, reason: str, **extra: Any) -> None:
+        self.blocked.add(peer)
+        self.counters["rtt_links_flagged"] += 1
+        now = self._sim.now
+        self._trace.emit(
+            now, "rtt_link_flagged", node=self._node.node_id, peer=peer,
+            reason=reason, **extra,
+        )
+        self._trace.emit(now, "guard_detection", guard=self._node.node_id, accused=peer)
+
+    # -- admission -----------------------------------------------------
+    def _filter(self, frame: Frame) -> bool:
+        if frame.transmitter in self.blocked:
+            self.counters["rtt_frames_blocked"] += 1
+            self._trace.emit(
+                self._sim.now, "frame_rejected", node=self._node.node_id,
+                reason="rtt_flagged", **frame.describe(),
+            )
+            return False
+        return True
+
+
+class RttDefense(Defense):
+    """Round-trip-time statistics over overheard links."""
+
+    name = "rtt"
+    config_cls = RttConfig
+    description = "RTT probing with population-median outlier + timeout detection"
+
+    def default_config(self) -> RttConfig:
+        return RttConfig()
+
+    def prepare(self, ctx: DefenseContext) -> None:
+        agents: Dict[NodeId, RttAgent] = {}
+        ctx.state["rtt_agents"] = agents
+
+        def on_transmit(sender: NodeId, frame: Frame, time: float) -> None:
+            packet = frame.packet
+            # Only the original airing counts: a relayed copy keeps the
+            # prober in packet.sender but is aired by someone else.
+            if isinstance(packet, RttProbePacket) and sender == packet.sender:
+                agent = agents.get(sender)
+                if agent is not None:
+                    agent.note_air(packet.nonce, time)
+
+        ctx.network.channel.add_tx_observer(on_transmit)
+
+    def attach_honest(self, node: "Node", sim: "Simulator", ctx: DefenseContext) -> None:
+        agent = RttAgent(
+            sim, node, ctx.plugin_config, ctx.trace,
+            rng=ctx.node_stream("rtt", node.node_id),
+        )
+        ctx.state["rtt_agents"][node.node_id] = agent
+
+    def attach_insider(self, node: "Node", sim: "Simulator", ctx: DefenseContext) -> None:
+        # A compromised node still answers probes — looking unreachable
+        # would flag it instantly, and its radio genuinely works.
+        RttResponder(node)
+
+    def node_counters(self, ctx: DefenseContext) -> Dict[NodeId, Dict[str, int]]:
+        agents = ctx.state.get("rtt_agents", {})
+        return {node_id: dict(agent.counters) for node_id, agent in agents.items()}
+
+    def metrics_contribution(self, report: "MetricsReport", config: Any) -> Dict[str, float]:
+        flagged = sum(
+            counters.get("rtt_links_flagged", 0)
+            for counters in report.node_counters.values()
+        )
+        probes = sum(
+            counters.get("rtt_probes_sent", 0)
+            for counters in report.node_counters.values()
+        )
+        return {"links_flagged": float(flagged), "probes_sent": float(probes)}

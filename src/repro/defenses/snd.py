@@ -1,0 +1,402 @@
+"""Secure neighbor discovery via time-of-flight handshakes (Poturalski
+et al. style).
+
+Rather than detecting a wormhole after the fact, this baseline refuses
+to *admit* a link that cannot prove physical proximity.  Each honest
+node challenges every candidate neighbor (ground-truth deployment
+adjacency plus any transmitter it overhears); the peer must return an
+authenticated response within ``response_window`` seconds, measured
+from the instant the challenge actually hit the air (a channel
+tx-observer timestamps it, so the challenger's own MAC queueing never
+counts against the peer).
+
+The window is sized between the honest handshake (one challenge air
+time + one response air time on an idle medium, ≈ 13 ms at 40 kbps) and
+the same exchange through a packet-relay wormhole, which must re-air
+both frames (≥ +11 ms): relayed responses are *late*, high-power
+attackers beyond real radio range are *unanswered*, and insiders
+without proximity never verify.  After ``activate_time`` every honest
+node drops frames from unverified transmitters, so fake links are never
+usable for routing.  Genuine insider colluders with working radios do
+verify — a time-of-flight check proves proximity, not honesty — which
+is exactly the scope the literature gives these protocols
+(docs/DEFENSES.md discusses it).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Set, Tuple
+
+from repro.crypto.auth import Authenticator
+from repro.crypto.keys import KeyStore
+from repro.defenses.base import Defense, DefenseContext
+from repro.net.packet import Frame, NodeId, SndChallengePacket, SndResponsePacket
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics.collector import MetricsReport
+    from repro.net.node import Node
+    from repro.sim.engine import Simulator
+    from repro.sim.trace import TraceLog
+
+
+@dataclass(frozen=True)
+class SndConfig:
+    """Tunables for time-of-flight neighbor verification.
+
+    Attributes
+    ----------
+    start_time:
+        When the first challenge round begins.
+    rounds / round_interval:
+        Scheduled verification rounds; a link that fails one round is
+        retried in the next (verification is sticky once achieved).
+    round_stagger:
+        Each node offsets its rounds by a seed-derived uniform draw from
+        this window, so the whole deployment does not challenge at once.
+    challenge_spacing:
+        Gap between successive challenges at one node, keeping its own
+        MAC queue out of the measurement.
+    response_window:
+        Maximum seconds from challenge air-start to response arrival
+        for the link to verify.
+    answer_timeout:
+        Seconds after which an outstanding challenge is declared
+        unanswered.
+    rechallenge_limit / rechallenge_interval:
+        Budget and spacing for on-demand challenges of transmitters
+        first heard after the admission filter is already active.
+    grace:
+        Slack between the end of the last scheduled round and
+        ``activate_time``.
+    """
+
+    start_time: float = 1.0
+    rounds: int = 4
+    round_interval: float = 4.0
+    round_stagger: float = 1.5
+    challenge_spacing: float = 0.1
+    response_window: float = 0.020
+    answer_timeout: float = 0.6
+    rechallenge_limit: int = 3
+    rechallenge_interval: float = 2.0
+    grace: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("start_time", "challenge_spacing", "grace", "round_stagger"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative, got {getattr(self, name)!r}")
+        for name in ("round_interval", "response_window", "answer_timeout",
+                     "rechallenge_interval"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive, got {getattr(self, name)!r}")
+        if self.rounds < 1:
+            raise ValueError(f"rounds must be at least 1, got {self.rounds!r}")
+        if self.rechallenge_limit < 0:
+            raise ValueError(
+                f"rechallenge_limit must be non-negative, got {self.rechallenge_limit!r}"
+            )
+        if self.answer_timeout <= self.response_window:
+            raise ValueError("answer_timeout must exceed response_window")
+
+    @property
+    def activate_time(self) -> float:
+        """When the admission filter switches on."""
+        return self.start_time + self.rounds * self.round_interval + self.grace
+
+
+class SndResponder:
+    """Response half of the handshake: answer challenges addressed to us.
+
+    Runs on every node with legitimate keys — insiders included, since a
+    captured node still holds its material and a working radio.
+    """
+
+    def __init__(self, node: "Node", keys: KeyStore) -> None:
+        self._node = node
+        self._keys = keys
+        node.add_listener(self._respond)
+
+    def _respond(self, frame: Frame) -> None:
+        packet = frame.packet
+        if not isinstance(packet, SndChallengePacket):
+            return
+        if packet.target != self._node.node_id:
+            return
+        if packet.sender == self._node.node_id:
+            return  # a relayed copy of our own frame
+        key = self._keys.key_with(packet.sender)
+        if key is None:
+            return
+        auth = Authenticator.tag(
+            key, "SND", packet.sender, self._node.node_id, packet.nonce
+        )
+        self._node.broadcast(
+            SndResponsePacket(
+                sender=self._node.node_id,
+                target=packet.sender,
+                nonce=packet.nonce,
+                auth=auth,
+            ),
+            jitter=0.0,
+        )
+
+
+class SndAgent(SndResponder):
+    """Challenger + admission filter running on one honest node."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node: "Node",
+        keys: KeyStore,
+        config: SndConfig,
+        trace: "TraceLog",
+        rng: random.Random,
+        candidates: Tuple[NodeId, ...] = (),
+    ) -> None:
+        super().__init__(node, keys)
+        self._sim = sim
+        self._config = config
+        self._trace = trace
+        self._rng = rng
+        self._candidates: Set[NodeId] = set(candidates)
+        self.verified: Set[NodeId] = set()
+        self._challenged: Set[NodeId] = set()
+        self._rejected_peers: Set[NodeId] = set()
+        self._pending: Dict[int, NodeId] = {}
+        self._air_times: Dict[int, float] = {}
+        self._sent_times: Dict[int, float] = {}
+        self._rechallenges: Dict[NodeId, int] = {}
+        self._last_rechallenge: Dict[NodeId, float] = {}
+        self._nonce = 0
+        self.frames_blocked = 0
+        self.responses_late = 0
+        self.responses_unanswered = 0
+        self.responses_bad_auth = 0
+        self.challenges_sent = 0
+        node.add_observer(self._observe)
+        node.add_filter(self._filter)
+        node.add_listener(self._on_response)
+        stagger = rng.uniform(0.0, config.round_stagger)
+        for round_index in range(config.rounds):
+            sim.schedule(
+                config.start_time + round_index * config.round_interval + stagger,
+                self._round,
+            )
+
+    # -- tx-observer callback (wired by the plugin's prepare) ----------
+    def note_air(self, nonce: int, time: float) -> None:
+        """Record when our own challenge actually hit the air."""
+        self._air_times.setdefault(nonce, time)
+
+    # -- candidate discovery -------------------------------------------
+    def _observe(self, frame: Frame) -> None:
+        transmitter = frame.transmitter
+        if transmitter == self._node.node_id:
+            return
+        if transmitter not in self._candidates:
+            self._candidates.add(transmitter)
+            if self._sim.now >= self._config.activate_time:
+                self._maybe_rechallenge(transmitter)
+
+    # -- challenging ---------------------------------------------------
+    def _round(self) -> None:
+        if not self._node.alive:
+            return
+        targets = sorted(self._candidates - self.verified)
+        for index, peer in enumerate(targets):
+            self._sim.schedule(
+                index * self._config.challenge_spacing, self._challenge, peer
+            )
+
+    def _maybe_rechallenge(self, peer: NodeId) -> None:
+        if peer == self._node.node_id:
+            return
+        config = self._config
+        used = self._rechallenges.get(peer, 0)
+        if used >= config.rechallenge_limit:
+            return
+        last = self._last_rechallenge.get(peer)
+        if last is not None and self._sim.now - last < config.rechallenge_interval:
+            return
+        self._rechallenges[peer] = used + 1
+        self._last_rechallenge[peer] = self._sim.now
+        self._challenge(peer)
+
+    def _challenge(self, peer: NodeId) -> None:
+        if not self._node.alive or peer in self.verified:
+            return
+        self._nonce += 1
+        nonce = self._nonce
+        packet = SndChallengePacket(
+            sender=self._node.node_id, target=peer, nonce=nonce
+        )
+        # Broadcast: no link-layer ARQ, so the challenge airs exactly
+        # once and the tx-observer timestamp is unambiguous.
+        if not self._node.broadcast(packet, jitter=0.0):
+            return
+        self.challenges_sent += 1
+        self._challenged.add(peer)
+        self._pending[nonce] = peer
+        self._sent_times[nonce] = self._sim.now
+        self._sim.schedule(self._config.answer_timeout, self._expire, nonce)
+
+    def _expire(self, nonce: int) -> None:
+        peer = self._pending.pop(nonce, None)
+        self._air_times.pop(nonce, None)
+        self._sent_times.pop(nonce, None)
+        if peer is None or peer in self.verified:
+            return
+        self.responses_unanswered += 1
+        self._trace.emit(
+            self._sim.now, "snd_link_rejected", node=self._node.node_id,
+            peer=peer, reason="unanswered",
+        )
+
+    # -- verification --------------------------------------------------
+    def _on_response(self, frame: Frame) -> None:
+        packet = frame.packet
+        if not isinstance(packet, SndResponsePacket):
+            return
+        if packet.target != self._node.node_id:
+            return
+        peer = self._pending.get(packet.nonce)
+        if peer is None or packet.sender != peer:
+            return
+        now = self._sim.now
+        config = self._config
+        started = self._air_times.get(packet.nonce, self._sent_times[packet.nonce])
+        elapsed = now - started
+        key = self._keys.key_with(peer)
+        if not Authenticator.verify(
+            key, packet.auth, "SND", self._node.node_id, peer, packet.nonce
+        ):
+            self._pending.pop(packet.nonce, None)
+            self.responses_bad_auth += 1
+            self._trace.emit(
+                now, "snd_link_rejected", node=self._node.node_id,
+                peer=peer, reason="auth",
+            )
+            return
+        self._pending.pop(packet.nonce, None)
+        self._air_times.pop(packet.nonce, None)
+        self._sent_times.pop(packet.nonce, None)
+        if elapsed <= config.response_window:
+            self.verified.add(peer)
+            self._trace.emit(
+                now, "snd_link_verified", node=self._node.node_id,
+                peer=peer, elapsed=elapsed,
+            )
+        else:
+            self.responses_late += 1
+            self._trace.emit(
+                now, "snd_link_rejected", node=self._node.node_id,
+                peer=peer, reason="late", elapsed=elapsed,
+            )
+
+    # -- admission -----------------------------------------------------
+    def _filter(self, frame: Frame) -> bool:
+        if self._sim.now < self._config.activate_time:
+            return True
+        packet = frame.packet
+        if isinstance(packet, (SndChallengePacket, SndResponsePacket)):
+            return True  # the handshake itself must always flow
+        transmitter = frame.transmitter
+        if transmitter == self._node.node_id:
+            return True  # a wormhole echoing our own frames back at us
+        if transmitter in self.verified:
+            return True
+        self.frames_blocked += 1
+        self._trace.emit(
+            self._sim.now, "frame_rejected", node=self._node.node_id,
+            reason="snd_unverified", **frame.describe(),
+        )
+        if transmitter not in self._rejected_peers:
+            self._rejected_peers.add(transmitter)
+            self._trace.emit(
+                self._sim.now, "snd_link_rejected", node=self._node.node_id,
+                peer=transmitter, reason="unverified",
+            )
+        self._maybe_rechallenge(transmitter)
+        return False
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Protocol counters for ``MetricsReport.node_counters``."""
+        return {
+            "snd_challenges_sent": self.challenges_sent,
+            "snd_links_verified": len(self.verified),
+            "snd_links_unverified": len(self._challenged - self.verified),
+            "snd_responses_late": self.responses_late,
+            "snd_responses_unanswered": self.responses_unanswered,
+            "snd_responses_bad_auth": self.responses_bad_auth,
+            "snd_frames_blocked": self.frames_blocked,
+        }
+
+
+class SndDefense(Defense):
+    """Time-of-flight verified neighbor admission."""
+
+    name = "snd"
+    config_cls = SndConfig
+    description = "secure neighbor discovery: time-of-flight verified links"
+
+    def default_config(self) -> SndConfig:
+        return SndConfig()
+
+    def prepare(self, ctx: DefenseContext) -> None:
+        agents: Dict[NodeId, SndAgent] = {}
+        ctx.state["snd_agents"] = agents
+
+        def on_transmit(sender: NodeId, frame: Frame, time: float) -> None:
+            packet = frame.packet
+            # Only the original airing counts: a relayed copy keeps the
+            # challenger in packet.sender but is aired by someone else.
+            if isinstance(packet, SndChallengePacket) and sender == packet.sender:
+                agent = agents.get(sender)
+                if agent is not None:
+                    agent.note_air(packet.nonce, time)
+
+        ctx.network.channel.add_tx_observer(on_transmit)
+
+    def attach_honest(self, node: "Node", sim: "Simulator", ctx: DefenseContext) -> None:
+        agent = SndAgent(
+            sim,
+            node,
+            ctx.keys.enroll(node.node_id),
+            ctx.plugin_config,
+            ctx.trace,
+            rng=ctx.node_stream("snd", node.node_id),
+            candidates=ctx.adjacency.get(node.node_id, ()),
+        )
+        ctx.state["snd_agents"][node.node_id] = agent
+
+    def attach_insider(self, node: "Node", sim: "Simulator", ctx: DefenseContext) -> None:
+        # A captured node keeps its keys and a working radio; refusing to
+        # answer would just get its links rejected everywhere.
+        SndResponder(node, ctx.keys.enroll(node.node_id))
+
+    def node_counters(self, ctx: DefenseContext) -> Dict[NodeId, Dict[str, int]]:
+        agents = ctx.state.get("snd_agents", {})
+        return {node_id: dict(agent.counters) for node_id, agent in agents.items()}
+
+    def metrics_contribution(self, report: "MetricsReport", config: Any) -> Dict[str, float]:
+        def total(counter: str) -> float:
+            return float(sum(
+                counters.get(counter, 0)
+                for counters in report.node_counters.values()
+            ))
+
+        return {
+            "links_verified": total("snd_links_verified"),
+            "links_unverified": total("snd_links_unverified"),
+            "frames_blocked": total("snd_frames_blocked"),
+        }
+
+    def detected(self, report: "MetricsReport") -> bool:
+        return any(
+            counters.get("snd_links_unverified", 0) > 0
+            for counters in report.node_counters.values()
+        )

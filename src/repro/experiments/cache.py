@@ -39,7 +39,10 @@ from repro.obs.spans import span
 #: 2: MetricsReport grew per-node protocol counters (node_counters).
 #: 3: MetricsReport grew causal latency stages (latency_stages); version-2
 #:    entries still load (the field defaults to empty on read).
-CACHE_SCHEMA_VERSION = 3
+#: 4: ScenarioConfig.defense became a DefenseSpec (name + per-plugin
+#:    config block participate in the digest, so two defenses with
+#:    otherwise-identical base configs can never collide).
+CACHE_SCHEMA_VERSION = 4
 
 
 # ----------------------------------------------------------------------

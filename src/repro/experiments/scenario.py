@@ -10,9 +10,8 @@ with the out-of-band wormhole.
 from __future__ import annotations
 
 import random
-import warnings
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.attacks.agents import (
     HighPowerRouting,
@@ -25,6 +24,13 @@ from repro.baselines.leashes import LeashAgent, LeashConfig
 from repro.core.agent import LiteworpAgent
 from repro.core.config import LiteworpConfig
 from repro.crypto.keys import PairwiseKeyManager
+from repro.defenses import (
+    Defense,
+    DefenseContext,
+    DefenseSpec,
+    available_defenses,
+    get_defense,
+)
 from repro.faults.controller import FaultController
 from repro.faults.plan import FaultPlan
 from repro.metrics.collector import MetricsCollector, MetricsReport
@@ -41,7 +47,10 @@ from repro.sim.trace import TraceLog
 from repro.traffic.generator import TrafficConfig, TrafficGenerator
 
 ATTACK_MODES = ("none", "outofband", "encapsulation", "highpower", "relay", "rushing")
-DEFENSES = ("auto", "liteworp", "geo_leash", "temporal_leash", "none")
+#: The selectable ``defense=`` vocabulary at import time.  Validation is
+#: dynamic — plugins registered later become selectable immediately —
+#: but this snapshot is what the CLI offers as choices.
+DEFENSES = ("auto",) + available_defenses()
 
 
 def _default_leash_config() -> LeashConfig:
@@ -52,12 +61,15 @@ def _default_leash_config() -> LeashConfig:
 class ScenarioConfig:
     """Everything that defines one simulated run.
 
-    ``defense`` selects the protection scheme: ``"liteworp"`` (this
-    paper), ``"geo_leash"`` / ``"temporal_leash"`` (the packet-leash
-    baseline from the paper's related work), or ``"none"``.  The default
-    ``"auto"`` resolves to ``"liteworp"`` unless the deprecated
-    ``liteworp_enabled`` flag is explicitly set, in which case the legacy
-    boolean still wins (with a :class:`DeprecationWarning`).
+    ``defense`` selects the protection scheme by registry name — any
+    value from :func:`repro.defenses.available_defenses` (the built-ins:
+    ``"liteworp"``, ``"geo_leash"``, ``"temporal_leash"``, ``"rtt"``,
+    ``"snd"``, ``"none"``), a :class:`~repro.defenses.DefenseSpec`, or a
+    ``{"name", "config"}`` mapping carrying a per-defense config block.
+    The default ``"auto"`` resolves to ``"liteworp"``.  Whatever form is
+    passed, the field is normalised to a ``DefenseSpec`` with the config
+    block resolved through the plugin at construction, so a malformed
+    block fails here and two spellings of the same run digest alike.
     """
 
     n_nodes: int = 100
@@ -65,11 +77,11 @@ class ScenarioConfig:
     avg_neighbors: float = 8.0
     seed: int = 1
     duration: float = 300.0
-    # Deprecated: pass defense="liteworp" / "none" instead.  None means
-    # "not set"; an explicit bool keeps working through effective_defense
-    # but warns at construction.
+    # Removed: the pre-registry boolean.  Kept as a field only so the
+    # old spelling fails with a pointed ValueError instead of an opaque
+    # TypeError.
     liteworp_enabled: Optional[bool] = None
-    defense: str = "auto"
+    defense: Any = "auto"
     liteworp: LiteworpConfig = field(default_factory=LiteworpConfig)
     leash: "LeashConfig" = field(default_factory=lambda: _default_leash_config())
     oracle_neighbors: bool = True
@@ -93,11 +105,9 @@ class ScenarioConfig:
         # with a clear message, not minutes into a run (or, worse, produce
         # a silently empty report).
         if self.liteworp_enabled is not None:
-            warnings.warn(
-                "ScenarioConfig.liteworp_enabled is deprecated; pass "
-                "defense='liteworp' or defense='none' instead",
-                DeprecationWarning,
-                stacklevel=3,
+            raise ValueError(
+                "ScenarioConfig.liteworp_enabled was removed; pass "
+                "defense='liteworp' or defense='none' instead"
             )
         if self.n_nodes < 4:
             raise ValueError(f"need at least 4 nodes, got {self.n_nodes!r}")
@@ -124,8 +134,21 @@ class ScenarioConfig:
             )
         if self.attack_mode not in ATTACK_MODES:
             raise ValueError(f"attack_mode must be one of {ATTACK_MODES}")
-        if self.defense not in DEFENSES:
-            raise ValueError(f"defense must be one of {DEFENSES}")
+        spec = DefenseSpec.coerce(self.defense)
+        plugin_name = "liteworp" if spec.name == "auto" else spec.name
+        if plugin_name not in available_defenses():
+            raise ValueError(
+                f"defense must be one of {('auto',) + available_defenses()}, "
+                f"got {spec.name!r}"
+            )
+        # Resolve the config block eagerly: a malformed block fails at
+        # construction, and equivalent spellings (mapping vs dataclass vs
+        # omitted default) normalise to one canonical spec — so the cache
+        # digest cannot split or collide on spelling.
+        resolved = get_defense(plugin_name).resolve_config(spec.config)
+        if resolved is not spec.config:
+            spec = DefenseSpec(name=spec.name, config=resolved)
+        object.__setattr__(self, "defense", spec)
         if self.n_malicious < 0:
             raise ValueError("n_malicious must be non-negative")
         if self.attack_mode in TUNNEL_MODES and 0 < self.n_malicious < 2:
@@ -135,13 +158,16 @@ class ScenarioConfig:
         if self.duration <= self.attack_start and self.attack_mode != "none" and self.n_malicious:
             raise ValueError("duration must extend past attack_start")
 
+    def defense_spec(self) -> DefenseSpec:
+        """The normalised spec with ``"auto"`` resolved to its default."""
+        spec = self.defense
+        if spec.name == "auto":
+            return DefenseSpec(name="liteworp", config=spec.config)
+        return spec
+
     def effective_defense(self) -> str:
-        """Resolve ``"auto"`` (honouring the deprecated boolean shim)."""
-        if self.defense != "auto":
-            return self.defense
-        if self.liteworp_enabled is None:
-            return "liteworp"
-        return "liteworp" if self.liteworp_enabled else "none"
+        """The registry name of the defense this run will use."""
+        return self.defense_spec().name
 
     def effective_malicious(self) -> int:
         """Malicious node count after mode constraints (0 disables attack)."""
@@ -171,6 +197,8 @@ class Scenario:
     relay_attacker: Optional[RelayAttacker] = None
     leash_agents: Dict[NodeId, LeashAgent] = field(default_factory=dict)
     fault_controller: Optional[FaultController] = None
+    defense: Optional[Defense] = None
+    defense_ctx: Optional[DefenseContext] = None
 
     @property
     def honest_ids(self) -> Tuple[NodeId, ...]:
@@ -191,9 +219,13 @@ class Scenario:
                 # violation (or any other error) aborts the run mid-flight.
                 self.trace.close_sinks()
         with span("metrics.collect"):
+            if self.defense is not None and self.defense_ctx is not None:
+                counters = self.defense.node_counters(self.defense_ctx)
+            else:  # hand-assembled Scenario without a plugin
+                counters = snapshot_counters(self.agents)
             return self.metrics.report(
                 duration=self.config.duration,
-                node_counters=snapshot_counters(self.agents),
+                node_counters=counters,
             )
 
 
@@ -232,19 +264,25 @@ def _build_scenario(config: ScenarioConfig) -> Scenario:
         )
 
     routers: Dict[NodeId, OnDemandRouting] = {}
-    agents: Dict[NodeId, LiteworpAgent] = {}
-    leash_agents: Dict[NodeId, LeashAgent] = {}
     relay_attacker: Optional[RelayAttacker] = None
     adjacency = topology.adjacency()
-    defense = config.effective_defense()
-    leash_config = replace(
-        config.leash,
-        kind="geographic" if defense == "geo_leash" else config.leash.kind,
-        comm_range=config.tx_range,
-        bandwidth_bps=config.network.bandwidth_bps,
+
+    spec = config.defense_spec()
+    defense = get_defense(spec.name)
+    ctx = DefenseContext(
+        config=config,
+        spec=spec,
+        plugin_config=defense.resolve_config(spec.config),
+        sim=sim,
+        network=network,
+        topology=topology,
+        adjacency=adjacency,
+        trace=trace,
+        rng=rng,
+        keys=keys,
+        malicious=malicious_set,
     )
-    if defense == "temporal_leash":
-        leash_config = replace(leash_config, kind="temporal")
+    defense.prepare(ctx)
 
     for node_id in network.node_ids():
         node = network.node(node_id)
@@ -253,67 +291,16 @@ def _build_scenario(config: ScenarioConfig) -> Scenario:
             router = _build_malicious_router(
                 config, sim, node, trace, node_rng, network, coordinator
             )
-            if defense == "liteworp" and not config.oracle_neighbors:
-                # Insider nodes are compromised only after the compromise
-                # threshold time T_CT: during discovery they participate
-                # like everyone else (reply to HELLOs, broadcast their
-                # neighbor list) so honest tables include them.
-                from repro.core.discovery import NeighborDiscovery
-                from repro.core.tables import NeighborTable
-
-                NeighborDiscovery(
-                    sim,
-                    node,
-                    NeighborTable(node_id),
-                    keys.enroll(node_id),
-                    config.liteworp,
-                    trace,
-                    rng.stream(f"liteworp:{node_id}"),
-                ).start()
+            defense.attach_insider(node, sim, ctx)
             if config.attack_mode == "relay":
                 relay_attacker = _build_relay_attacker(config, sim, node, topology, trace, rng)
-            if defense in ("geo_leash", "temporal_leash"):
-                # Insider attackers run the leash protocol too: leashing
-                # their own transmissions truthfully is exactly how they
-                # evade the scheme.
-                # Attackers stamp but never reject (a filter would only
-                # protect them, and their behaviour stays unconstrained).
-                insider = LeashAgent(
-                    sim, node, network.radio, leash_config, trace,
-                    verify_incoming=False,
-                )
-                network.channel.set_frame_stamper(node_id, insider.stamp)
         else:
-            if defense == "liteworp":
-                agent = LiteworpAgent(
-                    sim,
-                    node,
-                    keys.enroll(node_id),
-                    config.liteworp,
-                    trace,
-                    rng=rng.stream(f"liteworp:{node_id}"),
-                )
-                agents[node_id] = agent
-                network.channel.attach_loss_handler(
-                    node_id, agent.monitor.note_reception_loss
-                )
-            elif defense in ("geo_leash", "temporal_leash"):
-                leash_agent = LeashAgent(
-                    sim, node, network.radio, leash_config, trace
-                )
-                leash_agents[node_id] = leash_agent
-                network.channel.set_frame_stamper(node_id, leash_agent.stamp)
+            defense.attach_honest(node, sim, ctx)
             router = OnDemandRouting(sim, node, config.routing, trace, node_rng)
-            if defense == "liteworp":
-                agents[node_id].attach_router(router)
+            defense.attach_router(node_id, router, ctx)
         routers[node_id] = router
 
-    if defense == "liteworp":
-        for node_id, agent in agents.items():
-            if config.oracle_neighbors:
-                agent.install_oracle(adjacency)
-            else:
-                agent.start_discovery()
+    defense.finalize(ctx)
 
     activation_time = config.attack_start
     if coordinator is not None:
@@ -353,14 +340,16 @@ def _build_scenario(config: ScenarioConfig) -> Scenario:
         topology=topology,
         network=network,
         routers=routers,
-        agents=agents,
+        agents=ctx.agents,
         traffic=traffic,
         metrics=metrics,
         malicious_ids=tuple(malicious_ids),
         coordinator=coordinator,
         relay_attacker=relay_attacker,
-        leash_agents=leash_agents,
+        leash_agents=ctx.leash_agents,
         fault_controller=fault_controller,
+        defense=defense,
+        defense_ctx=ctx,
     )
 
 

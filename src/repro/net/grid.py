@@ -83,10 +83,17 @@ class SpatialGrid:
 
     def _candidates(self, origin: Position, radius: float) -> Iterator[NodeId]:
         cell = self._cell_size
-        cx0 = math.floor((origin[0] - radius) / cell)
-        cx1 = math.floor((origin[0] + radius) / cell)
-        cy0 = math.floor((origin[1] - radius) / cell)
-        cy1 = math.floor((origin[1] + radius) / cell)
+        # The distance filter uses rounded hypot(), which can report a
+        # node at distance exactly `radius` even when its coordinate lies
+        # an ulp outside [origin - radius, origin + radius]; pad the cell
+        # window by a relative epsilon so such boundary nodes stay inside
+        # the scan (real-valued positions never sit on cell edges, so
+        # the candidate set is unchanged away from exact boundaries).
+        pad = (abs(origin[0]) + abs(origin[1]) + radius) * 1e-12
+        cx0 = math.floor((origin[0] - radius - pad) / cell)
+        cx1 = math.floor((origin[0] + radius + pad) / cell)
+        cy0 = math.floor((origin[1] - radius - pad) / cell)
+        cy1 = math.floor((origin[1] + radius + pad) / cell)
         cells = self._cells
         for cx in range(cx0, cx1 + 1):
             for cy in range(cy0, cy1 + 1):

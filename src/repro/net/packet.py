@@ -351,6 +351,87 @@ class AlertAckPacket(Packet):
 
 
 @dataclass(frozen=True, slots=True)
+class RttProbePacket(Packet):
+    """Unicast round-trip-time probe (RTT wormhole detector plugin).
+
+    The prober records the send time keyed by nonce; the matching
+    :class:`RttEchoPacket` closes the sample.  Control traffic, so a
+    packet-relay wormhole relays it — and thereby stretches the measured
+    RTT, which is the detection signal.
+    """
+
+    sender: NodeId = 0
+    target: NodeId = 0
+    nonce: int = 0
+
+    def key(self) -> Tuple[Any, ...]:
+        return ("RTT_PROBE", self.sender, self.target, self.nonce)
+
+    @property
+    def size_bytes(self) -> int:
+        return 16
+
+
+@dataclass(frozen=True, slots=True)
+class RttEchoPacket(Packet):
+    """Immediate echo of an :class:`RttProbePacket`, nonce preserved."""
+
+    sender: NodeId = 0
+    target: NodeId = 0
+    nonce: int = 0
+
+    def key(self) -> Tuple[Any, ...]:
+        return ("RTT_ECHO", self.sender, self.target, self.nonce)
+
+    @property
+    def size_bytes(self) -> int:
+        return 16
+
+
+@dataclass(frozen=True, slots=True)
+class SndChallengePacket(Packet):
+    """Time-of-flight challenge (secure-neighbor-discovery plugin).
+
+    The challenger starts its clock when the frame hits the air; the
+    neighbor must return an authenticated :class:`SndResponsePacket`
+    within the response window for the link to count as verified.
+    """
+
+    sender: NodeId = 0
+    target: NodeId = 0
+    nonce: int = 0
+
+    def key(self) -> Tuple[Any, ...]:
+        return ("SND_CHAL", self.sender, self.target, self.nonce)
+
+    @property
+    def size_bytes(self) -> int:
+        return 16
+
+
+@dataclass(frozen=True, slots=True)
+class SndResponsePacket(Packet):
+    """Authenticated reply to an :class:`SndChallengePacket`.
+
+    ``auth`` is an HMAC over (challenger, responder, nonce) under the
+    pairwise key, so a wormhole cannot forge responses for links it
+    merely relays — it can only delay them past the window.
+    """
+
+    sender: NodeId = 0
+    target: NodeId = 0
+    nonce: int = 0
+    auth: bytes = b""
+
+    def key(self) -> Tuple[Any, ...]:
+        return ("SND_RESP", self.sender, self.target, self.nonce)
+
+    @property
+    def size_bytes(self) -> int:
+        return 24
+
+
+@dataclass(frozen=True, slots=True)
 class Frame:
     """Link-layer transmission unit.
 

@@ -32,7 +32,7 @@ from __future__ import annotations
 import json
 from collections import Counter
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, ClassVar, Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.invariants import ATTACK, PROTOCOL, InvariantChecker
 from repro.obs.latency import LatencyDecomposer, summarize_decompositions
@@ -376,6 +376,92 @@ class RunReport:
             lines.append(f"- protocol `{rule}`: {count}")
         for rule, count in sorted(inv["attack_rules"].items()):
             lines.append(f"- attack `{rule}`: {count}")
+        return "\n".join(lines) + "\n"
+
+
+@dataclass
+class MatrixReport:
+    """A finished defense × attack matrix: one JSON payload plus renderers.
+
+    Produced by :func:`repro.experiments.matrix.aggregate_matrix` from the
+    per-attack campaign journals; the payload is a pure function of the
+    journaled reports, so an interrupted-and-resumed matrix renders
+    byte-identical JSON to an uninterrupted one (the CI smoke job asserts
+    this).
+    """
+
+    payload: Dict[str, Any]
+
+    #: (section title, cell-metric key) pairs rendered as grids.
+    GRID_METRICS: ClassVar[Tuple[Tuple[str, str], ...]] = (
+        ("Detection rate", "detection_rate"),
+        ("Mean isolation latency (s)", "mean_isolation_latency"),
+        ("Delivery fraction", "delivery_fraction"),
+        ("Wormhole drop fraction", "wormhole_drop_fraction"),
+    )
+
+    def to_json(self) -> str:
+        """Deterministic JSON rendering."""
+        return json.dumps(self.payload, sort_keys=True, indent=2) + "\n"
+
+    def cell(self, attack: str, defense: str) -> Optional[Dict[str, Any]]:
+        """The metrics block for one (attack, defense) cell, or None."""
+        for entry in self.payload["cells"]:
+            if entry["attack"] == attack and entry["defense"] == defense:
+                return entry["metrics"]
+        return None
+
+    def to_markdown(self) -> str:
+        """Human-oriented markdown rendering: one grid per headline
+        metric (defenses down, attacks across), then per-cell detail."""
+        p = self.payload
+        attacks: List[str] = list(p["attacks"])
+        defenses: List[str] = list(p["defenses"])
+        index = {
+            (entry["attack"], entry["defense"]): entry["metrics"]
+            for entry in p["cells"]
+        }
+        lines = [
+            f"# Defense × attack matrix: {p['matrix']}",
+            "",
+            f"{p['runs']} replication(s) per cell over {len(defenses)} "
+            f"defense(s) × {len(attacks)} attack mode(s).",
+        ]
+        for title, key in self.GRID_METRICS:
+            lines += [
+                "",
+                f"## {title}",
+                "",
+                "| defense | " + " | ".join(attacks) + " |",
+                "|---|" + "---|" * len(attacks),
+            ]
+            for defense in defenses:
+                cells = " | ".join(
+                    _fmt(index.get((attack, defense), {}).get(key))
+                    for attack in attacks
+                )
+                lines.append(f"| {defense} | {cells} |")
+        lines += [
+            "",
+            "## Per-cell detail",
+            "",
+            "| attack | defense | detections | isolations | false isolations "
+            "| plugin metrics |",
+            "|---|---|---|---|---|---|",
+        ]
+        for entry in p["cells"]:
+            metrics = entry["metrics"]
+            extras = ", ".join(
+                f"{name}={_fmt(value)}"
+                for name, value in sorted(metrics.get("contribution", {}).items())
+            ) or "—"
+            lines.append(
+                f"| {entry['attack']} | {entry['defense']} "
+                f"| {_fmt(metrics.get('detections'))} "
+                f"| {_fmt(metrics.get('isolations'))} "
+                f"| {_fmt(metrics.get('false_isolations'))} "
+                f"| {extras} |"
+            )
         return "\n".join(lines) + "\n"
 
 

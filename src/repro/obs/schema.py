@@ -264,6 +264,13 @@ def _build_default_registry() -> SchemaRegistry:
     # -- baselines / mobility ------------------------------------------
     r.declare("leash_rejected", ["node", "reason", *frame],
               description="packet-leash baseline discarded a frame")
+    r.declare("rtt_link_flagged", ["node", "peer", "reason"],
+              ["rtt", "baseline", "misses"],
+              description="RTT detector flagged a link as wormhole-like")
+    r.declare("snd_link_verified", ["node", "peer", "elapsed"],
+              description="time-of-flight handshake verified a neighbor")
+    r.declare("snd_link_rejected", ["node", "peer", "reason"], ["elapsed"],
+              description="SND challenge late/unanswered/unverified link")
     r.declare("mobile_link_formed", ["a", "b"],
               description="mobility: authenticated link established")
     r.declare("mobile_link_broken", ["a", "b"],

@@ -75,7 +75,16 @@ def test_report_from_records_and_path(tmp_path):
     assert from_path.payload["summary"] == from_records.payload["summary"]
 
 
-def test_legacy_flag_warns_but_maps_to_defense():
-    with pytest.warns(DeprecationWarning, match="liteworp_enabled"):
-        config = api.ScenarioConfig(n_nodes=16, liteworp_enabled=False)
-    assert config.effective_defense() == "none"
+def test_removed_legacy_flag_raises():
+    with pytest.raises(ValueError, match="liteworp_enabled was removed"):
+        api.ScenarioConfig(n_nodes=16, liteworp_enabled=False)
+
+
+def test_defense_registry_surface_reexported():
+    # Third-party plugins work entirely through api.* names.
+    assert set(api.available_defenses()) >= {
+        "geo_leash", "liteworp", "none", "rtt", "snd", "temporal_leash",
+    }
+    spec = api.DefenseSpec.coerce("liteworp")
+    assert spec.name == "liteworp"
+    assert issubclass(api.get_defense("rtt").__class__, api.Defense)

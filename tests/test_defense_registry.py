@@ -1,0 +1,214 @@
+"""Defense plugin registry: contract, spec coercion, digests, pins.
+
+Three guarantees live here:
+
+1. **Contract** — every registered defense runs a small wormhole scenario
+   to a valid :class:`MetricsReport` through nothing but the plugin
+   protocol (no scheme-specific wiring left in the scenario builder).
+2. **Digest separation** — the cache digest includes the defense name
+   *and* its per-plugin config block, so two defenses with otherwise
+   identical configs (or one defense with two tunings) can never collide.
+3. **Byte-identity pins** — the four pre-registry schemes produce the
+   exact reports they produced before the plugin migration, byte for
+   byte, on fixed seeds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.defenses import (
+    Defense,
+    DefenseSpec,
+    available_defenses,
+    get_defense,
+    register_defense,
+    unregister_defense,
+)
+from repro.defenses.rtt import RttConfig
+from repro.defenses.snd import SndConfig
+from repro.experiments.cache import config_digest
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.metrics.collector import MetricsReport
+
+
+BUILTINS = ("geo_leash", "liteworp", "none", "rtt", "snd", "temporal_leash")
+
+
+def _report_digest(report: MetricsReport) -> str:
+    state = json.dumps(report.to_state(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(state.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Registry surface
+# ----------------------------------------------------------------------
+def test_builtins_registered():
+    assert available_defenses() == BUILTINS
+
+
+def test_get_unknown_defense_names_available():
+    with pytest.raises(ValueError, match="unknown defense 'prayer'"):
+        get_defense("prayer")
+
+
+def test_register_rejects_collisions_and_reserved_names():
+    class Fake(Defense):
+        name = "liteworp"
+
+    with pytest.raises(ValueError, match="already registered"):
+        register_defense(Fake())
+
+    class Auto(Defense):
+        name = "auto"
+
+    with pytest.raises(ValueError):
+        register_defense(Auto())
+
+
+def test_register_unregister_roundtrip():
+    class Custom(Defense):
+        name = "custom_scheme"
+
+    register_defense(Custom())
+    try:
+        assert "custom_scheme" in available_defenses()
+        assert isinstance(get_defense("custom_scheme"), Custom)
+        # A third-party scheme is a first-class ScenarioConfig value.
+        config = ScenarioConfig(n_nodes=16, defense="custom_scheme")
+        assert config.effective_defense() == "custom_scheme"
+    finally:
+        unregister_defense("custom_scheme")
+    assert "custom_scheme" not in available_defenses()
+
+
+# ----------------------------------------------------------------------
+# DefenseSpec coercion + config resolution
+# ----------------------------------------------------------------------
+def test_spec_coercion_forms():
+    assert DefenseSpec.coerce("rtt") == DefenseSpec(name="rtt")
+    assert DefenseSpec.coerce({"name": "rtt"}) == DefenseSpec(name="rtt")
+    spec = DefenseSpec(name="rtt", config=RttConfig(alpha=2.0))
+    assert DefenseSpec.coerce(spec) is spec
+    with pytest.raises(ValueError, match="DefenseSpec"):
+        DefenseSpec.coerce(42)
+
+
+def test_scenario_config_normalises_all_spellings():
+    by_string = ScenarioConfig(n_nodes=16, defense="rtt")
+    by_mapping = ScenarioConfig(n_nodes=16, defense={"name": "rtt"})
+    by_spec = ScenarioConfig(n_nodes=16, defense=DefenseSpec(name="rtt"))
+    assert by_string.defense == by_mapping.defense == by_spec.defense
+    assert isinstance(by_string.defense.config, RttConfig)
+    # One canonical spec means one cache digest per semantic config.
+    assert config_digest(by_string) == config_digest(by_mapping) == config_digest(by_spec)
+
+
+def test_mapping_config_block_resolves_through_plugin():
+    config = ScenarioConfig(
+        n_nodes=16, defense={"name": "rtt", "config": {"alpha": 2.5}}
+    )
+    assert config.defense.config.alpha == 2.5
+    with pytest.raises(ValueError, match="bad config for defense 'rtt'"):
+        ScenarioConfig(n_nodes=16, defense={"name": "rtt", "config": {"bogus": 1}})
+
+
+def test_config_block_on_configless_plugin_rejected():
+    with pytest.raises(ValueError, match="takes no config block"):
+        ScenarioConfig(n_nodes=16, defense={"name": "none", "config": {"x": 1}})
+
+
+def test_unknown_defense_name_rejected():
+    with pytest.raises(ValueError, match="defense must be one of"):
+        ScenarioConfig(n_nodes=16, defense="prayer")
+
+
+def test_auto_resolves_to_liteworp():
+    config = ScenarioConfig(n_nodes=16)
+    assert config.defense.name == "auto"
+    assert config.effective_defense() == "liteworp"
+
+
+# ----------------------------------------------------------------------
+# Cache digest separation
+# ----------------------------------------------------------------------
+def test_digest_separates_defense_names():
+    digests = {
+        name: config_digest(ScenarioConfig(n_nodes=16, defense=name))
+        for name in BUILTINS
+    }
+    assert len(set(digests.values())) == len(BUILTINS)
+
+
+def test_digest_separates_plugin_config_blocks():
+    # Same defense, different tuning: before the DefenseSpec digest fix
+    # these collided (the plugin block was invisible to the hash).
+    loose = ScenarioConfig(
+        n_nodes=16, defense=DefenseSpec(name="rtt", config=RttConfig(alpha=1.8))
+    )
+    tight = ScenarioConfig(
+        n_nodes=16, defense=DefenseSpec(name="rtt", config=RttConfig(alpha=3.0))
+    )
+    assert config_digest(loose) != config_digest(tight)
+
+    slow = ScenarioConfig(
+        n_nodes=16, defense=DefenseSpec(name="snd", config=SndConfig(rounds=4))
+    )
+    fast = ScenarioConfig(
+        n_nodes=16, defense=DefenseSpec(name="snd", config=SndConfig(rounds=6))
+    )
+    assert config_digest(slow) != config_digest(fast)
+
+
+# ----------------------------------------------------------------------
+# Contract: every registered defense completes a wormhole scenario
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("defense", BUILTINS)
+def test_every_defense_runs_wormhole_scenario(defense):
+    config = ScenarioConfig(
+        n_nodes=20, duration=60.0, seed=5, attack_mode="outofband",
+        n_malicious=2, attack_start=15.0, defense=defense,
+    )
+    report = run_scenario(config)
+    assert isinstance(report, MetricsReport)
+    assert report.originated > 0
+    assert report.delivered >= 0
+    # The plugin's report-time surface is well-formed for every scheme.
+    plugin = get_defense(defense)
+    plugin_config = config.defense_spec().config
+    contribution = plugin.metrics_contribution(report, plugin_config)
+    assert all(isinstance(v, float) for v in contribution.values())
+    assert isinstance(plugin.detected(report), bool)
+    # Round-trips through the cache/journal state format.
+    assert MetricsReport.from_state(report.to_state()).to_state() == report.to_state()
+
+
+# ----------------------------------------------------------------------
+# Byte-identity pins for the migrated schemes
+# ----------------------------------------------------------------------
+#: SHA-256 of the canonical report JSON for each (defense, seed), recorded
+#: from the pre-registry if/else scenario builder.  These pins assert the
+#: plugin migration changed *nothing* about simulation behavior; update
+#: them only for a change that is *supposed* to alter results.
+PINNED_DIGESTS = {
+    ("liteworp", 7): "06f78b859a36db93e3e11b8812a5b8423dbc9a30d0b1b3297339119dd6fb93de",
+    ("liteworp", 11): "4e340dfcab47e43e72d8cc68bf52f280123dac1e7bb6397ff0b2fa6ae44464fc",
+    ("geo_leash", 7): "9525cef8958a53bd2fb9851fa8e892f2f5c13f8430532ca39fb18d6820fcb25c",
+    ("geo_leash", 11): "b3171c94f1de4951c619f115f669ada508f1a7aba7812189f71d191005996cd4",
+    ("temporal_leash", 7): "8f46f9cd339e9b0765b74c6f1e0aabb3013364e58db69bd947a1d58ed2ad94f2",
+    ("temporal_leash", 11): "b9b47e191d151f4ec6ebce71204172b4f572e5a2dc8e03576736e229cdd4e5ef",
+    ("none", 7): "e04e887c2ada5b781a2b0d5c2f23d578b8cd00547312ceca9c41c77fa9165b24",
+    ("none", 11): "c127da897fd3155b7311fecf3431a9760aa704f51601fd04e18b3cbe7870e940",
+}
+
+
+@pytest.mark.parametrize("defense,seed", sorted(PINNED_DIGESTS))
+def test_migrated_schemes_byte_identical(defense, seed):
+    config = ScenarioConfig(
+        n_nodes=24, duration=80.0, seed=seed, attack_mode="outofband",
+        n_malicious=2, attack_start=20.0, defense=defense,
+    )
+    assert _report_digest(run_scenario(config)) == PINNED_DIGESTS[(defense, seed)]

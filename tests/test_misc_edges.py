@@ -85,18 +85,14 @@ def test_temporal_leash_defense_builds_and_runs():
     assert report.delivered > 0
 
 
-def test_defense_auto_follows_legacy_flag():
-    with pytest.warns(DeprecationWarning):
-        on = ScenarioConfig(n_nodes=20, liteworp_enabled=True)
-    with pytest.warns(DeprecationWarning):
-        off = ScenarioConfig(n_nodes=20, liteworp_enabled=False)
-    assert on.effective_defense() == "liteworp"
-    assert off.effective_defense() == "none"
-    with pytest.warns(DeprecationWarning):
-        explicit = ScenarioConfig(
-            n_nodes=20, liteworp_enabled=False, defense="geo_leash"
-        )
-    assert explicit.effective_defense() == "geo_leash"
+def test_removed_legacy_flag_raises_pointed_error():
+    # The pre-registry boolean is gone: any spelling fails at
+    # construction with a message pointing at defense=.
+    for value in (True, False):
+        with pytest.raises(ValueError, match="defense='liteworp'"):
+            ScenarioConfig(n_nodes=20, liteworp_enabled=value)
+    with pytest.raises(ValueError, match="liteworp_enabled was removed"):
+        ScenarioConfig(n_nodes=20, liteworp_enabled=False, defense="geo_leash")
 
 
 def test_unknown_defense_rejected():
